@@ -1,0 +1,139 @@
+// Command benchrunner regenerates the paper's evaluation tables in the
+// same layout as the figures:
+//
+//	benchrunner -fig 2        Figure 2 — SQL operators, IndexedDF vs Spark
+//	benchrunner -fig 3        Figure 3 — SNB simple reads SQ1–SQ7
+//	benchrunner -fig mem      §2 memory-overhead claim
+//	benchrunner -fig all      everything plus the max-speedup summary (§5)
+//
+// Flags -sf, -seed and -iters scale the run. Absolute times depend on this
+// machine; the shapes (who wins, by what factor) are what reproduce the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"indexeddf/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: 2, 3, mem, all")
+	sf := flag.Float64("sf", 1.0, "SNB scale factor (1.0 ~ 1k persons)")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	iters := flag.Int("iters", 5, "timed iterations per operator")
+	flag.Parse()
+
+	if err := run(*fig, *sf, *seed, *iters); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(fig string, sf float64, seed int64, iters int) error {
+	var all []bench.Measurement
+	switch fig {
+	case "2":
+		ms, err := figure2(sf, seed, iters)
+		if err != nil {
+			return err
+		}
+		all = ms
+	case "3":
+		ms, err := figure3(sf, seed, iters)
+		if err != nil {
+			return err
+		}
+		all = ms
+	case "mem":
+		return memory(sf, seed)
+	case "all":
+		m2, err := figure2(sf, seed, iters)
+		if err != nil {
+			return err
+		}
+		m3, err := figure3(sf, seed, iters)
+		if err != nil {
+			return err
+		}
+		if err := memory(sf, seed); err != nil {
+			return err
+		}
+		all = append(m2, m3...)
+	default:
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem or all)", fig)
+	}
+	if fig == "all" {
+		best := bench.Measurement{}
+		for _, m := range all {
+			if m.Speedup() > best.Speedup() {
+				best = m
+			}
+		}
+		fmt.Printf("\n§5 claim — maximum speedup vs vanilla: %.1fx (%s); paper reports \"up to 8X\"\n",
+			best.Speedup(), best.Name)
+	}
+	return nil
+}
+
+func figure2(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
+	fmt.Printf("== Figure 2: SQL operators on person_knows_person (sf=%.2f, cluster regime: no broadcast) ==\n", sf)
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed, BroadcastThreshold: 1})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := bench.Compare(e, bench.Figure2Ops(e), iters)
+	if err != nil {
+		return nil, err
+	}
+	printTable(ms)
+	return ms, nil
+}
+
+func figure3(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
+	fmt.Printf("\n== Figure 3: SNB simple read queries SQ1-SQ7 (sf=%.2f, %d params each) ==\n", sf, 8)
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := bench.Compare(e, bench.Figure3Ops(e), iters)
+	if err != nil {
+		return nil, err
+	}
+	printTable(ms)
+	return ms, nil
+}
+
+func memory(sf float64, seed int64) error {
+	fmt.Printf("\n== §2 claim: memory overhead of the Indexed DataFrame (knows table, sf=%.2f) ==\n", sf)
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed})
+	if err != nil {
+		return err
+	}
+	r := bench.Memory(e)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "vanilla columnar cache\t%d bytes\n", r.ColumnarBytes)
+	fmt.Fprintf(w, "indexed row data (encoded)\t%d bytes\n", r.DataBytes)
+	fmt.Fprintf(w, "indexed ctrie estimate\t%d bytes\n", r.IndexBytes)
+	fmt.Fprintf(w, "indexed reserved batches\t%d bytes\n", r.BatchBytes)
+	fmt.Fprintf(w, "overhead ratio (data+index)/columnar\t%.2fx\n", r.OverheadPerCopy)
+	return w.Flush()
+}
+
+func printTable(ms []bench.Measurement) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "query\tIndexedDF [ms]\tSpark [ms]\tspeedup\trows\t")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2fx\t%d\t\n",
+			m.Name, msf(m.IndexedTime), msf(m.VanillaTime), m.Speedup(), m.IndexedRows)
+	}
+	w.Flush()
+	fmt.Println(strings.Repeat("-", 56))
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

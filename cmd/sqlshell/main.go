@@ -1,0 +1,92 @@
+// Command sqlshell is an interactive SQL shell over the engine. It starts
+// with an SNB-like graph loaded (vanilla tables cached; indexed copies
+// created with -indexed) so the index-aware optimizer can be explored
+// interactively.
+//
+//	go run ./cmd/sqlshell -sf 0.5 -indexed
+//
+// Meta commands: \d (tables), \explain <query>, \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"indexeddf"
+	"indexeddf/internal/snb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "SNB scale factor to preload")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	indexed := flag.Bool("indexed", true, "also build indexed copies")
+	flag.Parse()
+
+	sess := indexeddf.NewSession(indexeddf.Config{})
+	d := snb.Generate(snb.Config{ScaleFactor: *sf, Seed: *seed})
+	if _, err := snb.Load(sess, d, *indexed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded SNB graph sf=%.2f (%d rows). Tables: person knows post comment forum", *sf, d.Rows())
+	if *indexed {
+		fmt.Printf(" + indexed copies")
+	}
+	fmt.Println("\ntype SQL, \\d for tables, \\explain <q> for plans, \\q to quit")
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("sql> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\d`:
+			names := sess.Tables()
+			sort.Strings(names)
+			for _, n := range names {
+				if t, ok := sess.LookupTable(n); ok {
+					fmt.Printf("  %-24s %8d rows  %s\n", n, t.RowCount(), t.Schema())
+				}
+			}
+		case strings.HasPrefix(line, `\explain `):
+			df, err := sess.SQL(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			out, err := df.Explain()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
+		default:
+			df, err := sess.SQL(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			start := time.Now()
+			out, err := df.Show(25)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			n, _ := df.Count()
+			fmt.Print(out)
+			fmt.Printf("(%d rows, %.2f ms)\n", n, float64(time.Since(start).Microseconds())/1000)
+		}
+	}
+}

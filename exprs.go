@@ -1,0 +1,161 @@
+package indexeddf
+
+import (
+	"fmt"
+	"time"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/sqltypes"
+)
+
+// Re-exported schema building blocks so applications only import this
+// package.
+type (
+	// Schema is an ordered list of typed columns.
+	Schema = sqltypes.Schema
+	// Field is one column definition.
+	Field = sqltypes.Field
+	// Row is a tuple of values.
+	Row = sqltypes.Row
+	// Value is an SQL value.
+	Value = sqltypes.Value
+	// Expr is an expression tree node.
+	Expr = expr.Expr
+	// Agg describes an aggregate output.
+	Agg = expr.Agg
+)
+
+// SQL data types.
+const (
+	Bool      = sqltypes.Bool
+	Int32     = sqltypes.Int32
+	Int64     = sqltypes.Int64
+	Float64   = sqltypes.Float64
+	String    = sqltypes.String
+	Timestamp = sqltypes.Timestamp
+)
+
+// NewSchema builds a schema.
+func NewSchema(fields ...Field) *Schema { return sqltypes.NewSchema(fields...) }
+
+// V converts a Go value to an SQL value. Supported: nil, bool, int, int32,
+// int64, float64, string, time.Time and Value itself.
+func V(x any) Value {
+	switch v := x.(type) {
+	case nil:
+		return sqltypes.Null
+	case Value:
+		return v
+	case bool:
+		return sqltypes.NewBool(v)
+	case int:
+		return sqltypes.NewInt64(int64(v))
+	case int32:
+		return sqltypes.NewInt32(v)
+	case int64:
+		return sqltypes.NewInt64(v)
+	case float64:
+		return sqltypes.NewFloat64(v)
+	case string:
+		return sqltypes.NewString(v)
+	case time.Time:
+		return sqltypes.NewTimestampFromTime(v)
+	default:
+		panic(fmt.Sprintf("indexeddf: unsupported literal type %T", x))
+	}
+}
+
+// R builds a row from Go values.
+func R(xs ...any) Row {
+	r := make(Row, len(xs))
+	for i, x := range xs {
+		r[i] = V(x)
+	}
+	return r
+}
+
+// Col references a column by (optionally qualified) name.
+func Col(name string) Expr { return expr.C(name) }
+
+// Lit builds a literal from a Go value.
+func Lit(x any) Expr { return expr.Lit(V(x)) }
+
+// Eq builds l = r.
+func Eq(l, r Expr) Expr { return expr.NewCmp(expr.Eq, l, r) }
+
+// Ne builds l <> r.
+func Ne(l, r Expr) Expr { return expr.NewCmp(expr.Ne, l, r) }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Expr { return expr.NewCmp(expr.Lt, l, r) }
+
+// Le builds l <= r.
+func Le(l, r Expr) Expr { return expr.NewCmp(expr.Le, l, r) }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Expr { return expr.NewCmp(expr.Gt, l, r) }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Expr { return expr.NewCmp(expr.Ge, l, r) }
+
+// And builds l AND r.
+func And(l, r Expr) Expr { return expr.And(l, r) }
+
+// Or builds l OR r.
+func Or(l, r Expr) Expr { return expr.Or(l, r) }
+
+// Not negates e.
+func Not(e Expr) Expr { return expr.NewNot(e) }
+
+// IsNull tests e IS NULL.
+func IsNull(e Expr) Expr { return &expr.IsNull{E: e} }
+
+// IsNotNull tests e IS NOT NULL.
+func IsNotNull(e Expr) Expr { return &expr.IsNull{E: e, Negate: true} }
+
+// As names an expression.
+func As(e Expr, name string) Expr { return expr.As(e, name) }
+
+// Add builds l + r.
+func Add(l, r Expr) Expr { return expr.NewArith(expr.Add, l, r) }
+
+// Sub builds l - r.
+func Sub(l, r Expr) Expr { return expr.NewArith(expr.Sub, l, r) }
+
+// Mul builds l * r.
+func Mul(l, r Expr) Expr { return expr.NewArith(expr.Mul, l, r) }
+
+// Div builds l / r.
+func Div(l, r Expr) Expr { return expr.NewArith(expr.Div, l, r) }
+
+// Fn calls a scalar function (UPPER, LOWER, LENGTH, ABS, CONCAT, SUBSTR,
+// YEAR, COALESCE).
+func Fn(name string, args ...Expr) Expr { return expr.NewFunc(name, args...) }
+
+// Count is COUNT(column).
+func Count(column string) Agg {
+	return Agg{Func: expr.CountAgg, Arg: expr.C(column), Name: "count(" + column + ")"}
+}
+
+// CountAll is COUNT(*).
+func CountAll() Agg { return Agg{Func: expr.CountStarAgg, Name: "count"} }
+
+// Sum is SUM(column).
+func Sum(column string) Agg {
+	return Agg{Func: expr.SumAgg, Arg: expr.C(column), Name: "sum(" + column + ")"}
+}
+
+// Min is MIN(column).
+func Min(column string) Agg {
+	return Agg{Func: expr.MinAgg, Arg: expr.C(column), Name: "min(" + column + ")"}
+}
+
+// Max is MAX(column).
+func Max(column string) Agg {
+	return Agg{Func: expr.MaxAgg, Arg: expr.C(column), Name: "max(" + column + ")"}
+}
+
+// Avg is AVG(column).
+func Avg(column string) Agg {
+	return Agg{Func: expr.AvgAgg, Arg: expr.C(column), Name: "avg(" + column + ")"}
+}

@@ -1,0 +1,145 @@
+package indexeddf
+
+import (
+	"strings"
+	"testing"
+)
+
+// Failure-injection coverage: errors produced at any layer (parse,
+// analysis, planning, runtime evaluation, storage limits) must surface as
+// errors from actions, never as panics or silent wrong results.
+
+func TestRuntimeCastErrorPropagates(t *testing.T) {
+	s := NewSession(Config{})
+	df, err := s.CreateTable("t", NewSchema(Field{Name: "s", Type: String}),
+		[]Row{R("123"), R("not-a-number")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sane projection works...
+	if _, err = df.Select(Fn("length", Col("s"))).Collect(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but CAST fails on the second row at evaluation time.
+	q, err := s.SQL("SELECT CAST(s AS BIGINT) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Collect(); err == nil {
+		t.Fatal("runtime cast failure did not propagate")
+	} else if !strings.Contains(err.Error(), "cannot cast") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDivisionByZeroIsNullNotError(t *testing.T) {
+	s := NewSession(Config{})
+	df, err := s.CreateTable("t", NewSchema(Field{Name: "a", Type: Int64}), []Row{R(int64(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Select(Div(Col("a"), Lit(0))).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0][0].IsNull() {
+		t.Fatalf("10/0 = %v, want NULL", rows[0][0])
+	}
+}
+
+func TestOversizedRowRejectedOnAppend(t *testing.T) {
+	s := NewSession(Config{})
+	df, err := s.CreateIndexedTable("big", NewSchema(
+		Field{Name: "k", Type: Int64},
+		Field{Name: "payload", Type: String},
+	), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("x", 1<<20) // 1 MiB > 16 KiB row cap
+	if _, err := df.AppendRowsSlice([]Row{R(int64(1), huge)}); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	// The table stays usable after the failed append.
+	if _, err := df.AppendRowsSlice([]Row{R(int64(1), "small")}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := df.Count()
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestGetRowsOnNonIndexedFails(t *testing.T) {
+	s := NewSession(Config{})
+	df, err := s.CreateTable("t", NewSchema(Field{Name: "a", Type: Int64}), []Row{R(int64(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.GetRows(1); err == nil {
+		t.Fatal("GetRows on vanilla table accepted")
+	}
+	if _, err := df.Filter(Eq(Col("a"), Lit(1))).AppendRowsSlice(nil); err == nil {
+		t.Fatal("AppendRows on derived frame accepted")
+	}
+	if _, err := df.Filter(Eq(Col("a"), Lit(1))).As("x"); err == nil {
+		t.Fatal("As on derived frame accepted")
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	s := NewSession(Config{})
+	df, err := s.CreateTable("t", NewSchema(Field{Name: "a", Type: Int64}), []Row{R(int64(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.CreateIndex(5); err == nil {
+		t.Fatal("out-of-range index column accepted")
+	}
+	if _, err := df.CreateIndexOn("missing"); err == nil {
+		t.Fatal("unknown index column accepted")
+	}
+}
+
+func TestJoinArityAndUnknownColumnErrors(t *testing.T) {
+	s := NewSession(Config{})
+	a, err := s.CreateTable("a", NewSchema(Field{Name: "x", Type: Int64}), []Row{R(int64(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateTable("b", NewSchema(Field{Name: "y", Type: Int64}), []Row{R(int64(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join(b, Eq(Col("x"), Col("nope"))).Collect(); err == nil {
+		t.Fatal("join on unknown column accepted")
+	}
+	// Union of incompatible schemas fails at analysis.
+	c, err := s.CreateTable("c", NewSchema(
+		Field{Name: "x", Type: Int64}, Field{Name: "z", Type: String}), []Row{R(int64(1), "s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Union(c).Collect(); err == nil {
+		t.Fatal("incompatible union accepted")
+	}
+}
+
+func TestAmbiguousColumnReference(t *testing.T) {
+	s := NewSession(Config{})
+	mk := func(name string) *DataFrame {
+		df, err := s.CreateTable(name, NewSchema(Field{Name: "id", Type: Int64}), []Row{R(int64(1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return df
+	}
+	a, b := mk("a"), mk("b")
+	// "id" is ambiguous across the join; qualified refs work.
+	if _, err := a.Join(b, Eq(Col("a.id"), Col("b.id"))).SelectCols("id").Collect(); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+	if _, err := a.Join(b, Eq(Col("a.id"), Col("b.id"))).SelectCols("a.id").Collect(); err != nil {
+		t.Fatalf("qualified column rejected: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package bench hosts the shared experiment harness that regenerates the
+// paper's evaluation: Figure 2 (SQL operator microbenchmarks on
+// person_knows_person, Indexed DataFrame vs vanilla) and Figure 3 (the
+// seven SNB simple reads on both engines), plus the memory-overhead and
+// append-latency claims and our ablations. Both `go test -bench` and
+// cmd/benchrunner drive it.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"indexeddf"
+	"indexeddf/internal/snb"
+)
+
+// Env is one loaded experiment environment: the same dataset in a vanilla
+// session and an indexed session.
+type Env struct {
+	Dataset *snb.Dataset
+	Vanilla *snb.Graph
+	Indexed *snb.Graph
+	Params  map[string][]int64
+}
+
+// EnvConfig parameterizes environment construction.
+type EnvConfig struct {
+	ScaleFactor float64
+	Seed        int64
+	// BroadcastThreshold configures both sessions. Figure 2 runs in the
+	// paper's cluster regime where base tables are too large to broadcast
+	// (threshold 1); Figure 3 uses the default.
+	BroadcastThreshold int64
+	// TablePartitions sets partition counts (default 4).
+	TablePartitions int
+}
+
+// NewEnv generates the dataset once and loads it into both engines.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 1
+	}
+	d := snb.Generate(snb.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+	mk := func(indexed bool) (*snb.Graph, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{
+			BroadcastThreshold: cfg.BroadcastThreshold,
+			TablePartitions:    cfg.TablePartitions,
+		})
+		return snb.Load(sess, d, indexed)
+	}
+	v, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dataset: d, Vanilla: v, Indexed: ix, Params: snb.DefaultParams(d, 8)}, nil
+}
+
+// Op is one benchmarked operation, runnable against either engine.
+type Op struct {
+	Name string
+	Run  func(g *snb.Graph) (rows int, err error)
+}
+
+// Figure2Ops returns the paper's six SQL operators over
+// person_knows_person (join against person), in figure order.
+func Figure2Ops(e *Env) []Op {
+	// Fixed, deterministic parameters derived from the dataset.
+	eqKey := e.Dataset.Persons[len(e.Dataset.Persons)/3][0].Int64Val()
+	// Range splitting knows roughly in half: median creationDate.
+	midDate := e.Dataset.Knows[len(e.Dataset.Knows)/2][2]
+
+	count := func(df *indexeddf.DataFrame) (int, error) {
+		rows, err := df.Collect()
+		return len(rows), err
+	}
+	knows := func(g *snb.Graph) *indexeddf.DataFrame {
+		if g.Indexed {
+			return g.KnowsByP1
+		}
+		return g.Knows
+	}
+	person := func(g *snb.Graph) *indexeddf.DataFrame {
+		if g.Indexed {
+			return g.PersonByID
+		}
+		return g.Person
+	}
+	return []Op{
+		{Name: "Join", Run: func(g *snb.Graph) (int, error) {
+			// knows JOIN person ON person1Id = person.id: the indexed
+			// relation is the pre-built build side; vanilla shuffles.
+			return count(knows(g).Join(person(g),
+				indexeddf.Eq(indexeddf.Col("person1Id"), indexeddf.Col("person.id"))))
+		}},
+		{Name: "Filter", Run: func(g *snb.Graph) (int, error) {
+			// Non-equality predicate: no index applies on either engine.
+			return count(knows(g).Filter(
+				indexeddf.Gt(indexeddf.Col("creationDate"), indexeddf.Lit(midDate))))
+		}},
+		{Name: "EqualityFilter", Run: func(g *snb.Graph) (int, error) {
+			return count(knows(g).Filter(
+				indexeddf.Eq(indexeddf.Col("person1Id"), indexeddf.Lit(eqKey))))
+		}},
+		{Name: "Aggregation", Run: func(g *snb.Graph) (int, error) {
+			return count(knows(g).GroupBy("person1Id").Count())
+		}},
+		{Name: "Projection", Run: func(g *snb.Graph) (int, error) {
+			return count(knows(g).SelectCols("person2Id"))
+		}},
+		{Name: "Scan", Run: func(g *snb.Graph) (int, error) {
+			return count(knows(g))
+		}},
+	}
+}
+
+// Figure3Ops returns the seven SNB simple reads, each running its full
+// parameter set.
+func Figure3Ops(e *Env) []Op {
+	var ops []Op
+	for _, q := range snb.Queries() {
+		q := q
+		ids := e.Params[q.ParamKind]
+		ops = append(ops, Op{Name: q.Name, Run: func(g *snb.Graph) (int, error) {
+			total := 0
+			for _, id := range ids {
+				rows, err := q.Run(g, id)
+				if err != nil {
+					return total, fmt.Errorf("%s(%d): %w", q.Name, id, err)
+				}
+				total += len(rows)
+			}
+			return total, nil
+		}})
+	}
+	return ops
+}
+
+// Measurement is one timed comparison row.
+type Measurement struct {
+	Name        string
+	VanillaTime time.Duration
+	IndexedTime time.Duration
+	VanillaRows int
+	IndexedRows int
+}
+
+// Speedup returns vanilla/indexed.
+func (m Measurement) Speedup() float64 {
+	if m.IndexedTime <= 0 {
+		return 0
+	}
+	return float64(m.VanillaTime) / float64(m.IndexedTime)
+}
+
+// timeOp runs op `iters` times against g and returns the median duration
+// (robust to GC pauses on small machines).
+func timeOp(op Op, g *snb.Graph, iters int) (time.Duration, int, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	// Warm up once (populates lazily built caches).
+	rows, err := op.Run(g)
+	if err != nil {
+		return 0, rows, err
+	}
+	times := make([]time.Duration, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if rows, err = op.Run(g); err != nil {
+			return 0, rows, err
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[iters/2], rows, nil
+}
+
+// Compare times each op on both engines.
+func Compare(e *Env, ops []Op, iters int) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(ops))
+	for _, op := range ops {
+		vt, vr, err := timeOp(op, e.Vanilla, iters)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s (vanilla): %w", op.Name, err)
+		}
+		it, ir, err := timeOp(op, e.Indexed, iters)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s (indexed): %w", op.Name, err)
+		}
+		if vr != ir {
+			return nil, fmt.Errorf("bench %s: engines disagree (%d vs %d rows)", op.Name, vr, ir)
+		}
+		out = append(out, Measurement{Name: op.Name, VanillaTime: vt, IndexedTime: it,
+			VanillaRows: vr, IndexedRows: ir})
+	}
+	return out, nil
+}
+
+// MemoryReport quantifies the paper's memory-overhead claim: the indexed
+// representation's bytes relative to the vanilla columnar cache.
+type MemoryReport struct {
+	ColumnarBytes   int64
+	BatchBytes      int64 // reserved row-batch bytes
+	DataBytes       int64 // encoded row payloads
+	IndexBytes      int64 // Ctrie estimate
+	IndexedCopies   int
+	OverheadPerCopy float64 // (data+index) / columnar
+}
+
+// Memory computes the report for the knows table (the Figure 2 subject).
+func Memory(e *Env) MemoryReport {
+	var r MemoryReport
+	if t, ok := e.Vanilla.Sess.LookupTable("knows"); ok {
+		if ct, ok2 := t.(interface{ MemoryUsage() int64 }); ok2 {
+			r.ColumnarBytes = ct.MemoryUsage()
+		}
+	}
+	core := e.Indexed.KnowsByP1.IndexedCore()
+	if core != nil {
+		r.BatchBytes, r.DataBytes, r.IndexBytes = core.MemoryUsage()
+	}
+	r.IndexedCopies = 1
+	if r.ColumnarBytes > 0 {
+		r.OverheadPerCopy = float64(r.DataBytes+r.IndexBytes) / float64(r.ColumnarBytes)
+	}
+	return r
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+)
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	e, err := NewEnv(EnvConfig{ScaleFactor: 0.05, Seed: 2, TablePartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnvLoadsBothEngines(t *testing.T) {
+	e := tinyEnv(t)
+	if e.Vanilla.Indexed || !e.Indexed.Indexed {
+		t.Fatal("engine flags wrong")
+	}
+	if len(e.Params["person"]) == 0 || len(e.Params["message"]) == 0 {
+		t.Fatalf("params empty: %v", e.Params)
+	}
+	vc, err := e.Vanilla.Knows.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := e.Indexed.KnowsByP1.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc != ic || vc == 0 {
+		t.Fatalf("row counts differ: %d vs %d", vc, ic)
+	}
+}
+
+// TestCompareEnforcesResultAgreement is the harness's own safety property:
+// a measurement is only produced when both engines return the same row
+// count, so the published tables cannot compare unequal work.
+func TestCompareEnforcesResultAgreement(t *testing.T) {
+	e := tinyEnv(t)
+	ms, err := Compare(e, Figure2Ops(e), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("figure 2 rows = %d", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		if m.VanillaRows != m.IndexedRows {
+			t.Fatalf("%s: rows disagree", m.Name)
+		}
+		if m.IndexedTime <= 0 || m.VanillaTime <= 0 {
+			t.Fatalf("%s: zero timing", m.Name)
+		}
+		if m.Speedup() <= 0 {
+			t.Fatalf("%s: speedup = %f", m.Name, m.Speedup())
+		}
+	}
+	for _, want := range []string{"Join", "Filter", "EqualityFilter", "Aggregation", "Projection", "Scan"} {
+		if !names[want] {
+			t.Fatalf("missing op %s", want)
+		}
+	}
+}
+
+func TestFigure3OpsRun(t *testing.T) {
+	e := tinyEnv(t)
+	ops := Figure3Ops(e)
+	if len(ops) != 7 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for _, op := range ops {
+		vr, err := op.Run(e.Vanilla)
+		if err != nil {
+			t.Fatalf("%s vanilla: %v", op.Name, err)
+		}
+		ir, err := op.Run(e.Indexed)
+		if err != nil {
+			t.Fatalf("%s indexed: %v", op.Name, err)
+		}
+		if vr != ir {
+			t.Fatalf("%s: %d vs %d rows", op.Name, vr, ir)
+		}
+	}
+}
+
+func TestMemoryReport(t *testing.T) {
+	e := tinyEnv(t)
+	r := Memory(e)
+	if r.ColumnarBytes <= 0 || r.DataBytes <= 0 || r.IndexBytes <= 0 {
+		t.Fatalf("memory report: %+v", r)
+	}
+	if r.OverheadPerCopy <= 0 {
+		t.Fatalf("overhead ratio: %+v", r)
+	}
+}

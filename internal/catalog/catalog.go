@@ -1,0 +1,193 @@
+// Package catalog defines the table abstractions the planner sees: vanilla
+// column tables (cached in columnar format, like Spark's in-memory cache)
+// and indexed tables (the paper's Indexed DataFrame storage).
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/core"
+	"indexeddf/internal/sqltypes"
+)
+
+// Table is a named data source with a schema and a cardinality estimate.
+type Table interface {
+	Name() string
+	Schema() *sqltypes.Schema
+	RowCount() int64
+}
+
+// ---------------------------------------------------------------------------
+// ColumnTable — the vanilla baseline
+
+// ColumnTable is a partitioned in-memory table. When cached, partitions are
+// materialized as columnar batches (Spark's cached DataFrame format); when
+// not cached, scans walk the row partitions.
+//
+// Appends invalidate the columnar cache — exactly the behaviour the paper
+// calls out as vanilla Spark's weakness ("updates to the graph invalidate
+// caching of Dataframes"): the next query pays a re-materialization.
+type ColumnTable struct {
+	name   string
+	schema *sqltypes.Schema
+
+	mu      sync.RWMutex
+	parts   [][]sqltypes.Row
+	cached  bool
+	batches []*columnar.Batch // nil entries are invalid
+	rows    int64
+}
+
+// NewColumnTable builds a table from pre-partitioned rows.
+func NewColumnTable(name string, schema *sqltypes.Schema, parts [][]sqltypes.Row) *ColumnTable {
+	t := &ColumnTable{name: name, schema: schema, parts: parts}
+	for _, p := range parts {
+		t.rows += int64(len(p))
+	}
+	return t
+}
+
+// Name implements Table.
+func (t *ColumnTable) Name() string { return t.name }
+
+// Schema implements Table.
+func (t *ColumnTable) Schema() *sqltypes.Schema { return t.schema }
+
+// RowCount implements Table.
+func (t *ColumnTable) RowCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// NumPartitions returns the partition count.
+func (t *ColumnTable) NumPartitions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.parts)
+}
+
+// SetCached toggles columnar caching. Enabling eagerly materializes all
+// partitions (like calling .cache() then an action in Spark).
+func (t *ColumnTable) SetCached(cached bool) error {
+	t.mu.Lock()
+	t.cached = cached
+	if !cached {
+		t.batches = nil
+		t.mu.Unlock()
+		return nil
+	}
+	t.batches = make([]*columnar.Batch, len(t.parts))
+	t.mu.Unlock()
+	for p := 0; p < t.NumPartitions(); p++ {
+		if _, err := t.ColumnarPartition(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsCached reports whether the table is columnar-cached.
+func (t *ColumnTable) IsCached() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cached
+}
+
+// RowPartition returns partition p's rows (shared slice; do not modify).
+func (t *ColumnTable) RowPartition(p int) []sqltypes.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.parts[p]
+}
+
+// ColumnarPartition returns partition p as a columnar batch, materializing
+// (or re-materializing after an append) if needed.
+func (t *ColumnTable) ColumnarPartition(p int) (*columnar.Batch, error) {
+	t.mu.RLock()
+	if !t.cached {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("catalog: table %q is not cached", t.name)
+	}
+	if b := t.batches[p]; b != nil {
+		t.mu.RUnlock()
+		return b, nil
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.batches[p]; b != nil {
+		return b, nil
+	}
+	b, err := columnar.FromRows(t.schema, t.parts[p])
+	if err != nil {
+		return nil, err
+	}
+	t.batches[p] = b
+	return b, nil
+}
+
+// Append adds rows (round-robin across partitions) and invalidates the
+// columnar cache, which will be rebuilt lazily on the next scan.
+func (t *ColumnTable) Append(rows []sqltypes.Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.parts) == 0 {
+		t.parts = make([][]sqltypes.Row, 1)
+	}
+	n := len(t.parts)
+	for i, r := range rows {
+		p := (int(t.rows) + i) % n
+		t.parts[p] = append(t.parts[p], r)
+	}
+	t.rows += int64(len(rows))
+	if t.cached {
+		for i := range t.batches {
+			t.batches[i] = nil // invalidate; next scan re-materializes
+		}
+	}
+}
+
+// MemoryUsage returns the bytes held by materialized columnar batches.
+func (t *ColumnTable) MemoryUsage() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, b := range t.batches {
+		if b != nil {
+			n += b.MemoryUsage()
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// IndexedTable — the paper's contribution, wrapped for the catalog
+
+// IndexedTable names a core.IndexedTable for the planner.
+type IndexedTable struct {
+	name string
+	core *core.IndexedTable
+}
+
+// NewIndexedTable wraps a core table.
+func NewIndexedTable(name string, t *core.IndexedTable) *IndexedTable {
+	return &IndexedTable{name: name, core: t}
+}
+
+// Name implements Table.
+func (t *IndexedTable) Name() string { return t.name }
+
+// Schema implements Table.
+func (t *IndexedTable) Schema() *sqltypes.Schema { return t.core.Schema() }
+
+// RowCount implements Table.
+func (t *IndexedTable) RowCount() int64 { return t.core.RowCount() }
+
+// Core returns the underlying storage.
+func (t *IndexedTable) Core() *core.IndexedTable { return t.core }
+
+// KeyColumn returns the indexed column ordinal.
+func (t *IndexedTable) KeyColumn() int { return t.core.KeyColumn() }

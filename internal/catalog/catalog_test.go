@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"testing"
+
+	"indexeddf/internal/core"
+	"indexeddf/internal/sqltypes"
+)
+
+func schema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "k", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "v", Type: sqltypes.String},
+	)
+}
+
+func rows(n int) []sqltypes.Row {
+	out := make([]sqltypes.Row, n)
+	for i := range out {
+		out[i] = sqltypes.Row{sqltypes.NewInt64(int64(i)), sqltypes.NewString("x")}
+	}
+	return out
+}
+
+func TestColumnTableBasics(t *testing.T) {
+	parts := [][]sqltypes.Row{rows(3), rows(2)}
+	ct := NewColumnTable("t", schema(), parts)
+	if ct.Name() != "t" || ct.RowCount() != 5 || ct.NumPartitions() != 2 {
+		t.Fatalf("basics: %s %d %d", ct.Name(), ct.RowCount(), ct.NumPartitions())
+	}
+	if ct.IsCached() {
+		t.Fatal("fresh table claims cached")
+	}
+	if _, err := ct.ColumnarPartition(0); err == nil {
+		t.Fatal("ColumnarPartition on uncached table should fail")
+	}
+	if got := ct.RowPartition(1); len(got) != 2 {
+		t.Fatalf("RowPartition = %d rows", len(got))
+	}
+}
+
+func TestColumnTableCacheLifecycle(t *testing.T) {
+	ct := NewColumnTable("t", schema(), [][]sqltypes.Row{rows(4)})
+	if err := ct.SetCached(true); err != nil {
+		t.Fatal(err)
+	}
+	if !ct.IsCached() || ct.MemoryUsage() <= 0 {
+		t.Fatal("cache not materialized")
+	}
+	b, err := ct.ColumnarPartition(0)
+	if err != nil || b.NumRows() != 4 {
+		t.Fatalf("ColumnarPartition: %v %v", b, err)
+	}
+	// Append invalidates; next access rebuilds with the new rows.
+	ct.Append(rows(2))
+	if ct.RowCount() != 6 {
+		t.Fatalf("RowCount after append = %d", ct.RowCount())
+	}
+	b2, err := ct.ColumnarPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.NumRows() != 6 { // single partition: all appends land here
+		t.Fatalf("rebuilt partition rows = %d", b2.NumRows())
+	}
+	if err := ct.SetCached(false); err != nil {
+		t.Fatal(err)
+	}
+	if ct.IsCached() || ct.MemoryUsage() != 0 {
+		t.Fatal("uncache did not release")
+	}
+}
+
+func TestColumnTableAppendRoundRobin(t *testing.T) {
+	ct := NewColumnTable("t", schema(), [][]sqltypes.Row{nil, nil, nil})
+	ct.Append(rows(7))
+	total := 0
+	for p := 0; p < 3; p++ {
+		n := len(ct.RowPartition(p))
+		if n == 0 {
+			t.Fatalf("partition %d empty after round-robin append", p)
+		}
+		total += n
+	}
+	if total != 7 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestIndexedTableWrapper(t *testing.T) {
+	ctab, err := core.NewIndexedTable(schema(), 0, core.Options{NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctab.Append(rows(10)); err != nil {
+		t.Fatal(err)
+	}
+	it := NewIndexedTable("idx", ctab)
+	if it.Name() != "idx" || it.RowCount() != 10 || it.KeyColumn() != 0 {
+		t.Fatalf("wrapper: %s %d %d", it.Name(), it.RowCount(), it.KeyColumn())
+	}
+	if it.Core() != ctab {
+		t.Fatal("Core() identity lost")
+	}
+	if !it.Schema().Equal(schema()) {
+		t.Fatal("schema mismatch")
+	}
+	var _ Table = it
+	var _ Table = NewColumnTable("x", schema(), nil)
+}

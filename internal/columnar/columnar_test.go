@@ -1,0 +1,158 @@
+package columnar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indexeddf/internal/sqltypes"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "name", Type: sqltypes.String, Nullable: true},
+		sqltypes.Field{Name: "score", Type: sqltypes.Float64, Nullable: true},
+		sqltypes.Field{Name: "flag", Type: sqltypes.Bool},
+		sqltypes.Field{Name: "small", Type: sqltypes.Int32},
+		sqltypes.Field{Name: "ts", Type: sqltypes.Timestamp},
+	)
+}
+
+func sampleRows() []sqltypes.Row {
+	return []sqltypes.Row{
+		{sqltypes.NewInt64(1), sqltypes.NewString("a"), sqltypes.NewFloat64(0.5),
+			sqltypes.NewBool(true), sqltypes.NewInt32(-3), sqltypes.NewTimestamp(99)},
+		{sqltypes.NewInt64(2), sqltypes.Null, sqltypes.Null,
+			sqltypes.NewBool(false), sqltypes.NewInt32(7), sqltypes.NewTimestamp(0)},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b, err := FromRows(testSchema(), sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", b.NumRows())
+	}
+	for i, want := range sampleRows() {
+		got := b.Row(i)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Errorf("row %d col %d: %v != %v", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestProjectRow(t *testing.T) {
+	b, err := FromRows(testSchema(), sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.ProjectRow(0, []int{2, 0}, nil)
+	if len(r) != 2 || r[0] != sqltypes.NewFloat64(0.5) || r[1] != sqltypes.NewInt64(1) {
+		t.Fatalf("ProjectRow = %v", r)
+	}
+	// Reuse destination.
+	dst := make(sqltypes.Row, 2)
+	r2 := b.ProjectRow(1, []int{0, 1}, dst)
+	if &r2[0] != &dst[0] {
+		t.Fatal("destination not reused")
+	}
+	if !r2[1].IsNull() {
+		t.Fatalf("null column lost: %v", r2)
+	}
+}
+
+func TestIter(t *testing.T) {
+	b, err := FromRows(testSchema(), sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sqltypes.Drain(b.Iter())
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("Drain = %d rows, %v", len(rows), err)
+	}
+}
+
+func TestAppendRowErrors(t *testing.T) {
+	b := NewBatch(testSchema())
+	if err := b.AppendRow(sqltypes.Row{sqltypes.NewInt64(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	bad := sampleRows()[0].Clone()
+	bad[0] = sqltypes.NewString("not-an-int")
+	if err := b.AppendRow(bad); err == nil {
+		t.Fatal("uncastable value accepted")
+	}
+}
+
+func TestImplicitCast(t *testing.T) {
+	b := NewBatch(sqltypes.NewSchema(sqltypes.Field{Name: "x", Type: sqltypes.Int64}))
+	if err := b.AppendRow(sqltypes.Row{sqltypes.NewInt32(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Row(0)[0]; got != sqltypes.NewInt64(5) {
+		t.Fatalf("cast on append = %v", got)
+	}
+}
+
+func TestMemoryUsageGrows(t *testing.T) {
+	b := NewBatch(testSchema())
+	before := b.MemoryUsage()
+	for i := 0; i < 1000; i++ {
+		if err := b.AppendRow(sampleRows()[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := b.MemoryUsage(); after <= before {
+		t.Fatalf("MemoryUsage did not grow: %d -> %d", before, after)
+	}
+}
+
+func TestNullBitmapAcross64Boundary(t *testing.T) {
+	v := NewVector(sqltypes.Int64)
+	for i := 0; i < 130; i++ {
+		var err error
+		if i%2 == 0 {
+			err = v.Append(sqltypes.Null)
+		} else {
+			err = v.Append(sqltypes.NewInt64(int64(i)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 130; i++ {
+		if got := v.IsNull(i); got != (i%2 == 0) {
+			t.Fatalf("IsNull(%d) = %v", i, got)
+		}
+		if i%2 == 1 && v.Get(i) != sqltypes.NewInt64(int64(i)) {
+			t.Fatalf("Get(%d) = %v", i, v.Get(i))
+		}
+	}
+}
+
+func TestVectorQuickRoundTrip(t *testing.T) {
+	f := func(xs []int64) bool {
+		v := NewVector(sqltypes.Int64)
+		for _, x := range xs {
+			if err := v.Append(sqltypes.NewInt64(x)); err != nil {
+				return false
+			}
+		}
+		if v.Len() != len(xs) {
+			return false
+		}
+		for i, x := range xs {
+			if v.Get(i) != sqltypes.NewInt64(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"indexeddf/internal/sqltypes"
+)
+
+func TestCompactReclaimsDeletedKeys(t *testing.T) {
+	tbl := newTable(t, 3)
+	var rows []sqltypes.Row
+	for i := int64(0); i < 300; i++ {
+		rows = append(rows, mkRow(i%30, fmt.Sprintf("r%d", i), float64(i)))
+	}
+	if err := tbl.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	// Delete two thirds of the keys.
+	for k := int64(0); k < 30; k++ {
+		if k%3 != 0 {
+			tbl.Delete(sqltypes.NewInt64(k))
+		}
+	}
+	if tbl.RowCount() != 300 {
+		t.Fatalf("RowCount before compact = %d (rows linger)", tbl.RowCount())
+	}
+	dropped, err := tbl.Compact(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 200 {
+		t.Fatalf("dropped = %d, want 200", dropped)
+	}
+	if tbl.RowCount() != 100 {
+		t.Fatalf("RowCount after compact = %d", tbl.RowCount())
+	}
+	if tbl.DistinctKeys() != 10 {
+		t.Fatalf("DistinctKeys after compact = %d", tbl.DistinctKeys())
+	}
+	// Surviving chains are intact and ordered newest-first.
+	snap := tbl.Snapshot()
+	got, err := snap.GetRows(sqltypes.NewInt64(0))
+	if err != nil || len(got) != 10 {
+		t.Fatalf("GetRows(0) = %d rows, %v", len(got), err)
+	}
+	if got[0][1].StringVal() != "r270" || got[9][1].StringVal() != "r0" {
+		t.Fatalf("chain order broken: %v ... %v", got[0], got[9])
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("post-compact snapshot invalid: %v", err)
+	}
+	// Deleted keys stay gone.
+	if rows, _ := snap.GetRows(sqltypes.NewInt64(1)); len(rows) != 0 {
+		t.Fatal("deleted key resurrected by compact")
+	}
+}
+
+func TestCompactOnlyNewestKeepsOneVersionPerKey(t *testing.T) {
+	tbl := newTable(t, 2)
+	for v := 0; v < 5; v++ {
+		for k := int64(0); k < 8; k++ {
+			if err := tbl.Append([]sqltypes.Row{mkRow(k, fmt.Sprintf("v%d", v), 0)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dropped, err := tbl.Compact(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 32 { // 5 versions -> 1 per key, 8 keys
+		t.Fatalf("dropped = %d, want 32", dropped)
+	}
+	snap := tbl.Snapshot()
+	for k := int64(0); k < 8; k++ {
+		got, err := snap.GetRows(sqltypes.NewInt64(k))
+		if err != nil || len(got) != 1 {
+			t.Fatalf("GetRows(%d) = %d rows, %v", k, len(got), err)
+		}
+		if got[0][1].StringVal() != "v4" {
+			t.Fatalf("kept version = %v, want newest v4", got[0])
+		}
+	}
+}
+
+func TestCompactIsMVCCSafe(t *testing.T) {
+	tbl := newTable(t, 2)
+	for i := int64(0); i < 50; i++ {
+		if err := tbl.Append([]sqltypes.Row{mkRow(i%5, fmt.Sprintf("r%d", i), 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := tbl.Snapshot()
+	tbl.Delete(sqltypes.NewInt64(2))
+	if _, err := tbl.Compact(false); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-compact snapshot still serves the deleted key's full chain
+	// from the old batches.
+	rows, err := pre.GetRows(sqltypes.NewInt64(2))
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("pre-compact snapshot GetRows(2) = %d rows, %v", len(rows), err)
+	}
+	n, err := pre.RowCount()
+	if err != nil || n != 50 {
+		t.Fatalf("pre-compact snapshot RowCount = %d, %v", n, err)
+	}
+	if err := pre.Validate(); err != nil {
+		t.Fatalf("pre-compact snapshot invalidated: %v", err)
+	}
+	// Fresh snapshots see the compacted state.
+	post := tbl.Snapshot()
+	if rows, _ := post.GetRows(sqltypes.NewInt64(2)); len(rows) != 0 {
+		t.Fatal("fresh snapshot sees deleted key")
+	}
+	pn, _ := post.RowCount()
+	if pn != 40 {
+		t.Fatalf("post-compact RowCount = %d, want 40", pn)
+	}
+	// The table remains appendable after compaction.
+	if err := tbl.Append([]sqltypes.Row{mkRow(2, "back", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := tbl.Snapshot().GetRows(sqltypes.NewInt64(2)); len(rows) != 1 {
+		t.Fatal("append after compact broken")
+	}
+}
+
+func TestCompactEmptyAndNoopTables(t *testing.T) {
+	tbl := newTable(t, 2)
+	dropped, err := tbl.Compact(false)
+	if err != nil || dropped != 0 {
+		t.Fatalf("empty compact: %d, %v", dropped, err)
+	}
+	if err := tbl.Append([]sqltypes.Row{mkRow(1, "a", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	v := tbl.Version()
+	dropped, err = tbl.Compact(false)
+	if err != nil || dropped != 0 {
+		t.Fatalf("noop compact: %d, %v", dropped, err)
+	}
+	if tbl.Version() != v {
+		t.Fatal("noop compact bumped version")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"indexeddf/internal/ctrie"
+	"indexeddf/internal/rowbatch"
+	"indexeddf/internal/sqltypes"
+)
+
+// Snapshot is a consistent multi-version read view of an IndexedTable:
+// per partition, a read-only Ctrie snapshot (O(1) to take) plus the row
+// batch watermarks at snapshot time. Appends that happen after the
+// snapshot are invisible: new rows live past the watermarks and are only
+// reachable through index entries the frozen Ctrie does not contain.
+type Snapshot struct {
+	table   *IndexedTable
+	version int64
+	parts   []partSnapshot
+}
+
+type partSnapshot struct {
+	index   *ctrie.Ctrie[sqltypes.Value, rowbatch.Ptr]
+	marks   []int64
+	batches *rowbatch.Set
+}
+
+// Snapshot pins the table's current state. Cost is O(partitions), each
+// partition contributing an O(1) Ctrie snapshot and a watermark read.
+func (t *IndexedTable) Snapshot() *Snapshot {
+	s := &Snapshot{
+		table:   t,
+		version: t.version.Load(),
+		parts:   make([]partSnapshot, len(t.parts)),
+	}
+	for i, p := range t.parts {
+		p.mu.Lock() // pin a consistent (index, batches) pair across Compact
+		s.parts[i] = partSnapshot{
+			index:   p.index.ReadOnlySnapshot(),
+			marks:   p.batches.Watermarks(),
+			batches: p.batches,
+		}
+		p.mu.Unlock()
+	}
+	return s
+}
+
+// Version returns the table version the snapshot was taken at.
+func (s *Snapshot) Version() int64 { return s.version }
+
+// Schema returns the table schema.
+func (s *Snapshot) Schema() *sqltypes.Schema { return s.table.schema }
+
+// KeyColumn returns the indexed column ordinal.
+func (s *Snapshot) KeyColumn() int { return s.table.keyCol }
+
+// NumPartitions returns the partition count.
+func (s *Snapshot) NumPartitions() int { return len(s.parts) }
+
+// GetRows returns every row bound to key, newest first — the paper's point
+// lookup (`indexedDF.getRows(key)`): one Ctrie lookup followed by a walk of
+// the backward chain.
+func (s *Snapshot) GetRows(key sqltypes.Value) ([]sqltypes.Row, error) {
+	var out []sqltypes.Row
+	err := s.LookupEach(key, func(row sqltypes.Row) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out, err
+}
+
+// LookupEach streams the rows bound to key, newest first, without
+// materializing. The callback's row is reused; clone to retain.
+func (s *Snapshot) LookupEach(key sqltypes.Value, fn func(sqltypes.Row) bool) error {
+	key = NormalizeKey(key)
+	p := s.table.PartitionFor(key)
+	ptr, ok := s.parts[p].index.Lookup(key)
+	if !ok {
+		return nil
+	}
+	row := make(sqltypes.Row, s.table.schema.Len())
+	return s.parts[p].batches.Chain(ptr, func(_ rowbatch.Ptr, payload []byte) bool {
+		if err := s.table.codec.DecodeInto(payload, row); err != nil {
+			return false
+		}
+		return fn(row)
+	})
+}
+
+// LookupPtr returns the packed pointer of the newest row for key, if any —
+// the raw index probe joins use.
+func (s *Snapshot) LookupPtr(p int, key sqltypes.Value) (rowbatch.Ptr, bool) {
+	return s.parts[p].index.Lookup(NormalizeKey(key))
+}
+
+// PartitionFor returns the partition owning key.
+func (s *Snapshot) PartitionFor(key sqltypes.Value) int { return s.table.PartitionFor(key) }
+
+// ChainEach walks the backward chain from ptr in partition p, decoding each
+// row into a reused buffer.
+func (s *Snapshot) ChainEach(p int, ptr rowbatch.Ptr, fn func(sqltypes.Row) bool) error {
+	row := make(sqltypes.Row, s.table.schema.Len())
+	var decodeErr error
+	err := s.parts[p].batches.Chain(ptr, func(_ rowbatch.Ptr, payload []byte) bool {
+		if err := s.table.codec.DecodeInto(payload, row); err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(row)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// ScanPartition iterates partition p's rows (append order) within the
+// snapshot, decoding full rows into a reused buffer.
+func (s *Snapshot) ScanPartition(p int, fn func(sqltypes.Row) bool) error {
+	row := make(sqltypes.Row, s.table.schema.Len())
+	var decodeErr error
+	err := s.parts[p].batches.Scan(s.parts[p].marks, func(_ rowbatch.Ptr, payload []byte) bool {
+		if err := s.table.codec.DecodeInto(payload, row); err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(row)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// ScanPartitionColumns iterates partition p decoding only the requested
+// columns (the row-store projection path).
+func (s *Snapshot) ScanPartitionColumns(p int, cols []int, fn func(sqltypes.Row) bool) error {
+	row := make(sqltypes.Row, len(cols))
+	var decodeErr error
+	err := s.parts[p].batches.Scan(s.parts[p].marks, func(_ rowbatch.Ptr, payload []byte) bool {
+		for i, c := range cols {
+			v, err := s.table.codec.DecodeColumn(payload, c)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			row[i] = v
+		}
+		return fn(row)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// RowCount counts the rows visible in the snapshot. O(partitions x rows).
+func (s *Snapshot) RowCount() (int64, error) {
+	var n int64
+	for p := range s.parts {
+		err := s.parts[p].batches.Scan(s.parts[p].marks, func(rowbatch.Ptr, []byte) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// IterateKeys streams the distinct keys of partition p with the pointer of
+// their newest row.
+func (s *Snapshot) IterateKeys(p int, fn func(key sqltypes.Value, head rowbatch.Ptr) bool) {
+	s.parts[p].index.Iterate(func(k sqltypes.Value, v rowbatch.Ptr) bool { return fn(k, v) })
+}
+
+// Validate cross-checks snapshot invariants (every index pointer resolves
+// within the watermarks and its row's key matches); used by tests and the
+// failure-injection suite.
+func (s *Snapshot) Validate() error {
+	for p := range s.parts {
+		var fail error
+		s.parts[p].index.Iterate(func(k sqltypes.Value, head rowbatch.Ptr) bool {
+			err := s.parts[p].batches.Chain(head, func(ptr rowbatch.Ptr, payload []byte) bool {
+				if ptr.Batch() >= len(s.parts[p].marks) ||
+					int64(ptr.Offset())+int64(ptr.Size()) > s.parts[p].marks[ptr.Batch()] {
+					fail = fmt.Errorf("core: key %v points past snapshot watermark", k)
+					return false
+				}
+				v, err := s.table.codec.DecodeColumn(payload, s.table.keyCol)
+				if err != nil {
+					fail = err
+					return false
+				}
+				if !sqltypes.Equal(v, k) && !(v.IsNull() && k.IsNull()) {
+					fail = fmt.Errorf("core: chain of key %v contains row keyed %v", k, v)
+					return false
+				}
+				return true
+			})
+			if err != nil && fail == nil {
+				fail = err
+			}
+			return fail == nil
+		})
+		if fail != nil {
+			return fail
+		}
+	}
+	return nil
+}

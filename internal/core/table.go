@@ -1,0 +1,232 @@
+// Package core implements the paper's primary contribution: the Indexed
+// DataFrame storage engine. An IndexedTable is hash partitioned on its
+// indexed column; each partition pairs a lock-free Ctrie index with
+// append-only binary row batches and per-key backward chains, giving
+// sub-linear point lookups and index-powered joins on data that keeps
+// growing, with multi-version concurrency (readers pin O(1) snapshots
+// while appends proceed).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"indexeddf/internal/ctrie"
+	"indexeddf/internal/rowbatch"
+	"indexeddf/internal/sqltypes"
+)
+
+// Options configures an IndexedTable.
+type Options struct {
+	// NumPartitions is the hash-partition count (default 4).
+	NumPartitions int
+	// BatchSize is the row-batch size in bytes (default 4 MB, the paper's
+	// value).
+	BatchSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumPartitions <= 0 {
+		o.NumPartitions = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = rowbatch.DefaultBatchSize
+	}
+	return o
+}
+
+// Partition is one indexed partition: the cTrie index, the row batches and
+// (threaded through the rows) the backward-pointer lists.
+type Partition struct {
+	mu      sync.Mutex // serializes appends; reads are lock-free
+	index   *ctrie.Ctrie[sqltypes.Value, rowbatch.Ptr]
+	batches *rowbatch.Set
+	keys    atomic.Int64 // distinct keys
+}
+
+// IndexedTable is the Indexed DataFrame's storage: a set of indexed
+// partitions hash partitioned on the key column.
+type IndexedTable struct {
+	schema  *sqltypes.Schema
+	keyCol  int
+	codec   *sqltypes.RowCodec
+	parts   []*Partition
+	version atomic.Int64
+	rows    atomic.Int64
+}
+
+// NewIndexedTable creates an empty IndexedTable indexed on schema column
+// keyCol.
+func NewIndexedTable(schema *sqltypes.Schema, keyCol int, opts Options) (*IndexedTable, error) {
+	if keyCol < 0 || keyCol >= schema.Len() {
+		return nil, fmt.Errorf("core: key column %d out of range for %s", keyCol, schema)
+	}
+	opts = opts.withDefaults()
+	t := &IndexedTable{
+		schema: schema,
+		keyCol: keyCol,
+		codec:  sqltypes.NewRowCodec(schema),
+		parts:  make([]*Partition, opts.NumPartitions),
+	}
+	hasher := func(v sqltypes.Value) uint64 { return mix64(v.Hash64()) }
+	for i := range t.parts {
+		t.parts[i] = &Partition{
+			index:   ctrie.New[sqltypes.Value, rowbatch.Ptr](hasher),
+			batches: rowbatch.NewSet(opts.BatchSize),
+		}
+	}
+	return t, nil
+}
+
+// mix64 is a splitmix64 finalizer applied on top of the value hash so that
+// the trie sees well-spread bits even for sequential integer keys.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NormalizeKey canonicalizes an index key so values that compare SQL-equal
+// are the same Ctrie key: integral types collapse to BIGINT and integral
+// doubles to BIGINT. All index reads and writes go through this.
+func NormalizeKey(v sqltypes.Value) sqltypes.Value {
+	switch v.T {
+	case sqltypes.Bool, sqltypes.Int32, sqltypes.Timestamp:
+		return sqltypes.Value{T: sqltypes.Int64, I: v.I}
+	case sqltypes.Float64:
+		if v.F == float64(int64(v.F)) {
+			return sqltypes.NewInt64(int64(v.F))
+		}
+	}
+	return v
+}
+
+// Schema returns the table schema.
+func (t *IndexedTable) Schema() *sqltypes.Schema { return t.schema }
+
+// KeyColumn returns the indexed column ordinal.
+func (t *IndexedTable) KeyColumn() int { return t.keyCol }
+
+// NumPartitions returns the partition count.
+func (t *IndexedTable) NumPartitions() int { return len(t.parts) }
+
+// RowCount returns the total number of rows appended so far.
+func (t *IndexedTable) RowCount() int64 { return t.rows.Load() }
+
+// Version returns the table's monotonically increasing version, bumped on
+// every append batch.
+func (t *IndexedTable) Version() int64 { return t.version.Load() }
+
+// PartitionFor returns the partition owning key.
+func (t *IndexedTable) PartitionFor(key sqltypes.Value) int {
+	return int(NormalizeKey(key).Hash64() % uint64(len(t.parts)))
+}
+
+// Append routes rows to their hash partitions and appends them. It is the
+// fine-grained and batch update entry point: appending a one-row slice is
+// a low-latency point insert, large slices amortize. Safe for concurrent
+// use with readers and other appenders.
+func (t *IndexedTable) Append(rows []sqltypes.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(t.parts)
+	if len(rows) == 1 {
+		// Fast path for fine-grained appends: no routing allocation.
+		p := t.PartitionFor(rows[0][t.keyCol])
+		if err := t.AppendToPartition(p, rows); err != nil {
+			return err
+		}
+		t.version.Add(1)
+		return nil
+	}
+	routed := make([][]sqltypes.Row, n)
+	for _, row := range rows {
+		if len(row) != t.schema.Len() {
+			return fmt.Errorf("core: row arity %d does not match schema %s", len(row), t.schema)
+		}
+		p := t.PartitionFor(row[t.keyCol])
+		routed[p] = append(routed[p], row)
+	}
+	for p, part := range routed {
+		if len(part) == 0 {
+			continue
+		}
+		if err := t.AppendToPartition(p, part); err != nil {
+			return err
+		}
+	}
+	t.version.Add(1)
+	return nil
+}
+
+// AppendToPartition appends pre-routed rows to partition p. Every row's
+// key must hash to p (the shuffle-based index build guarantees this).
+func (t *IndexedTable) AppendToPartition(p int, rows []sqltypes.Row) error {
+	part := t.parts[p]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	var buf []byte
+	for _, row := range rows {
+		key := NormalizeKey(row[t.keyCol])
+		prev, _ := part.index.Lookup(key)
+		var err error
+		buf, err = t.codec.Encode(buf[:0], row)
+		if err != nil {
+			return fmt.Errorf("core: partition %d: %v", p, err)
+		}
+		ptr, err := part.batches.Append(prev, buf)
+		if err != nil {
+			return fmt.Errorf("core: partition %d: %v", p, err)
+		}
+		if _, had := part.index.Swap(key, ptr); !had {
+			part.keys.Add(1)
+		}
+		t.rows.Add(1)
+	}
+	return nil
+}
+
+// Delete removes the index entry for key, making its rows unreachable
+// through the index (they remain in the row batches until compaction; the
+// paper's system is append-only, deletion is our extension). It returns
+// whether the key was present.
+func (t *IndexedTable) Delete(key sqltypes.Value) bool {
+	key = NormalizeKey(key)
+	p := t.parts[t.PartitionFor(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, removed := p.index.Remove(key)
+	if removed {
+		p.keys.Add(-1)
+		t.version.Add(1)
+	}
+	return removed
+}
+
+// DistinctKeys returns the number of distinct keys across partitions.
+func (t *IndexedTable) DistinctKeys() int64 {
+	var n int64
+	for _, p := range t.parts {
+		n += p.keys.Load()
+	}
+	return n
+}
+
+// MemoryUsage reports the bytes held by row batches (reserved), the bytes
+// of encoded row data, and an estimate of the index overhead — the
+// "relatively low memory overhead" the paper claims.
+func (t *IndexedTable) MemoryUsage() (batchBytes, dataBytes, indexBytes int64) {
+	for _, p := range t.parts {
+		batchBytes += p.batches.MemoryUsage()
+		dataBytes += p.batches.DataBytes()
+	}
+	// Ctrie node estimate: ~80 bytes per binding (sNode + its share of
+	// cNode array slots and iNodes), measured empirically on this runtime.
+	indexBytes = t.DistinctKeys() * 80
+	return batchBytes, dataBytes, indexBytes
+}
+
+// Codec exposes the table's row codec (used by scans to decode rows).
+func (t *IndexedTable) Codec() *sqltypes.RowCodec { return t.codec }

@@ -1,0 +1,132 @@
+// Package opt implements the Catalyst-style query optimizer: an analyzer
+// that binds column references, a batch of logical rewrite rules, and the
+// physical planner whose index-aware strategies (the paper's §2
+// contribution) route equality filters and equi-joins on indexed columns to
+// the indexed physical operators, falling back to vanilla execution
+// everywhere else.
+package opt
+
+import (
+	"fmt"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/plan"
+	"indexeddf/internal/sqltypes"
+)
+
+// Analyze resolves every expression in the plan against its child schemas,
+// bottom-up, and type-checks set operations. The result is a fully bound
+// plan ready for optimization.
+func Analyze(n plan.Node) (plan.Node, error) {
+	return plan.Transform(n, func(node plan.Node) (plan.Node, error) {
+		switch t := node.(type) {
+		case *plan.Project:
+			child := t.Child.Schema()
+			if child == nil {
+				return nil, fmt.Errorf("opt: project over unresolved child")
+			}
+			bound := make([]expr.Expr, len(t.Exprs))
+			for i, e := range t.Exprs {
+				b, err := bindExpr(e, child)
+				if err != nil {
+					return nil, err
+				}
+				bound[i] = b
+			}
+			return plan.NewProject(bound, t.Child), nil
+		case *plan.Filter:
+			child := t.Child.Schema()
+			if child == nil {
+				return nil, fmt.Errorf("opt: filter over unresolved child")
+			}
+			b, err := bindExpr(t.Cond, child)
+			if err != nil {
+				return nil, err
+			}
+			if bt := b.Type(); bt != sqltypes.Bool && bt != sqltypes.Unknown {
+				return nil, fmt.Errorf("opt: filter condition %s has type %s, want BOOLEAN", b, bt)
+			}
+			return plan.NewFilter(b, t.Child), nil
+		case *plan.Join:
+			if t.Cond == nil {
+				return node, nil
+			}
+			ls, rs := t.Left.Schema(), t.Right.Schema()
+			if ls == nil || rs == nil {
+				return nil, fmt.Errorf("opt: join over unresolved children")
+			}
+			b, err := bindExpr(t.Cond, ls.Concat(rs))
+			if err != nil {
+				return nil, err
+			}
+			return plan.NewJoin(t.Type, t.Left, t.Right, b), nil
+		case *plan.Aggregate:
+			child := t.Child.Schema()
+			if child == nil {
+				return nil, fmt.Errorf("opt: aggregate over unresolved child")
+			}
+			groups := make([]expr.Expr, len(t.Groups))
+			for i, g := range t.Groups {
+				b, err := bindExpr(g, child)
+				if err != nil {
+					return nil, err
+				}
+				groups[i] = b
+			}
+			aggs := make([]expr.Agg, len(t.Aggs))
+			for i, a := range t.Aggs {
+				aggs[i] = a
+				if a.Arg != nil {
+					b, err := bindExpr(a.Arg, child)
+					if err != nil {
+						return nil, err
+					}
+					aggs[i].Arg = b
+				}
+			}
+			return plan.NewAggregate(groups, aggs, t.Child), nil
+		case *plan.Sort:
+			child := t.Child.Schema()
+			if child == nil {
+				return nil, fmt.Errorf("opt: sort over unresolved child")
+			}
+			orders := make([]plan.SortOrder, len(t.Orders))
+			for i, o := range t.Orders {
+				b, err := bindExpr(o.Expr, child)
+				if err != nil {
+					return nil, err
+				}
+				orders[i] = plan.SortOrder{Expr: b, Desc: o.Desc}
+			}
+			return plan.NewSort(orders, t.Child), nil
+		case *plan.Union:
+			if len(t.Inputs) == 0 {
+				return nil, fmt.Errorf("opt: empty union")
+			}
+			first := t.Inputs[0].Schema()
+			for _, in := range t.Inputs[1:] {
+				s := in.Schema()
+				if s == nil || s.Len() != first.Len() {
+					return nil, fmt.Errorf("opt: union inputs have mismatched arity")
+				}
+				for i := range s.Fields {
+					if s.Fields[i].Type != first.Fields[i].Type {
+						return nil, fmt.Errorf("opt: union column %d type mismatch: %s vs %s",
+							i, s.Fields[i].Type, first.Fields[i].Type)
+					}
+				}
+			}
+			return node, nil
+		default:
+			return node, nil
+		}
+	})
+}
+
+// bindExpr binds e against schema unless it is already resolved.
+func bindExpr(e expr.Expr, schema *sqltypes.Schema) (expr.Expr, error) {
+	if e.Resolved() {
+		return e, nil
+	}
+	return expr.Bind(e, schema)
+}

@@ -1,0 +1,359 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+)
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// FilterExec keeps rows satisfying a bound predicate.
+type FilterExec struct {
+	Child Exec
+	Cond  expr.Expr
+}
+
+// NewFilter builds a filter operator.
+func NewFilter(child Exec, cond expr.Expr) *FilterExec { return &FilterExec{Child: child, Cond: cond} }
+
+// Schema implements Exec.
+func (f *FilterExec) Schema() *sqltypes.Schema { return f.Child.Schema() }
+
+// Children implements Exec.
+func (f *FilterExec) Children() []Exec { return []Exec{f.Child} }
+
+func (f *FilterExec) String() string { return fmt.Sprintf("Filter %s", f.Cond) }
+
+// Execute implements Exec.
+func (f *FilterExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := f.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	cond := f.Cond
+	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return &filterIter{in: in, cond: cond}, nil
+	}), nil
+}
+
+type filterIter struct {
+	in   sqltypes.RowIter
+	cond expr.Expr
+}
+
+func (it *filterIter) Next() (sqltypes.Row, error) {
+	for {
+		row, err := it.in.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		keep, err := expr.EvalPredicate(it.cond, row)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return row, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+// ProjectExec computes expressions per row.
+type ProjectExec struct {
+	Child  Exec
+	Exprs  []expr.Expr
+	schema *sqltypes.Schema
+}
+
+// NewProject builds a projection operator producing outSchema.
+func NewProject(child Exec, exprs []expr.Expr, outSchema *sqltypes.Schema) *ProjectExec {
+	return &ProjectExec{Child: child, Exprs: exprs, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (p *ProjectExec) Schema() *sqltypes.Schema { return p.schema }
+
+// Children implements Exec.
+func (p *ProjectExec) Children() []Exec { return []Exec{p.Child} }
+
+func (p *ProjectExec) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project [" + strings.Join(parts, ", ") + "]"
+}
+
+// Execute implements Exec.
+func (p *ProjectExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := p.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	exprs := p.Exprs
+	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return &projectIter{in: in, exprs: exprs}, nil
+	}), nil
+}
+
+type projectIter struct {
+	in    sqltypes.RowIter
+	exprs []expr.Expr
+}
+
+func (it *projectIter) Next() (sqltypes.Row, error) {
+	row, err := it.in.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(sqltypes.Row, len(it.exprs))
+	for i, e := range it.exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+
+// SortExec globally orders rows: it gathers all partitions into one (the
+// planner relies on this) and sorts by the given orders.
+type SortExec struct {
+	Child  Exec
+	Orders []SortOrder
+}
+
+// SortOrder is one physical sort term (bound expression).
+type SortOrder struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// NewSort builds a global sort.
+func NewSort(child Exec, orders []SortOrder) *SortExec {
+	return &SortExec{Child: child, Orders: orders}
+}
+
+// Schema implements Exec.
+func (s *SortExec) Schema() *sqltypes.Schema { return s.Child.Schema() }
+
+// Children implements Exec.
+func (s *SortExec) Children() []Exec { return []Exec{s.Child} }
+
+func (s *SortExec) String() string {
+	parts := make([]string, len(s.Orders))
+	for i, o := range s.Orders {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		parts[i] = o.Expr.String() + " " + dir
+	}
+	return "Sort [" + strings.Join(parts, ", ") + "]"
+}
+
+// Execute implements Exec.
+func (s *SortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := s.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	gathered := child
+	if child.NumPartitions() > 1 {
+		gathered = ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{})
+	}
+	orders := s.Orders
+	return ec.RDD.NewIterRDD(gathered, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		rows, err := sqltypes.Drain(in)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]sqltypes.Row, len(rows))
+		for i, r := range rows {
+			k := make(sqltypes.Row, len(orders))
+			for j, o := range orders {
+				v, err := o.Expr.Eval(r)
+				if err != nil {
+					return nil, err
+				}
+				k[j] = v
+			}
+			keys[i] = k
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := keys[idx[a]], keys[idx[b]]
+			for j, o := range orders {
+				c := sqltypes.Compare(ka[j], kb[j])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		out := make([]sqltypes.Row, len(rows))
+		for i, ix := range idx {
+			out[i] = rows[ix]
+		}
+		return sqltypes.NewSliceIter(out), nil
+	}), nil
+}
+
+// ---------------------------------------------------------------------------
+// Limit
+
+// LimitExec truncates output to N rows: a per-partition local limit, then —
+// when the child has several partitions — a gather and a global limit.
+type LimitExec struct {
+	Child Exec
+	N     int64
+}
+
+// NewLimit builds a limit operator.
+func NewLimit(child Exec, n int64) *LimitExec { return &LimitExec{Child: child, N: n} }
+
+// Schema implements Exec.
+func (l *LimitExec) Schema() *sqltypes.Schema { return l.Child.Schema() }
+
+// Children implements Exec.
+func (l *LimitExec) Children() []Exec { return []Exec{l.Child} }
+
+func (l *LimitExec) String() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// Execute implements Exec.
+func (l *LimitExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := l.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	n := l.N
+	local := ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return &limitIter{in: in, left: n}, nil
+	})
+	if child.NumPartitions() <= 1 {
+		return local, nil
+	}
+	gathered := ec.RDD.NewShuffledRDD(local, rdd.SinglePartitioner{})
+	return ec.RDD.NewIterRDD(gathered, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return &limitIter{in: in, left: n}, nil
+	}), nil
+}
+
+type limitIter struct {
+	in   sqltypes.RowIter
+	left int64
+}
+
+func (it *limitIter) Next() (sqltypes.Row, error) {
+	if it.left <= 0 {
+		return nil, nil
+	}
+	row, err := it.in.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	it.left--
+	return row, nil
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+
+// ExchangeExec repartitions rows by a hash of key ordinals (or into a
+// single partition when Keys is empty).
+type ExchangeExec struct {
+	Child         Exec
+	Keys          []int
+	NumPartitions int
+}
+
+// NewExchange builds a hash exchange.
+func NewExchange(child Exec, keys []int, numPartitions int) *ExchangeExec {
+	return &ExchangeExec{Child: child, Keys: keys, NumPartitions: numPartitions}
+}
+
+// Schema implements Exec.
+func (e *ExchangeExec) Schema() *sqltypes.Schema { return e.Child.Schema() }
+
+// Children implements Exec.
+func (e *ExchangeExec) Children() []Exec { return []Exec{e.Child} }
+
+func (e *ExchangeExec) String() string {
+	if len(e.Keys) == 0 {
+		return "Exchange single"
+	}
+	return fmt.Sprintf("Exchange hash%v n=%d", e.Keys, e.NumPartitions)
+}
+
+// Execute implements Exec.
+func (e *ExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := e.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Keys) == 0 {
+		return ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{}), nil
+	}
+	keys := e.Keys
+	part := &rdd.HashPartitioner{
+		N: e.NumPartitions,
+		Key: func(r sqltypes.Row) sqltypes.Value {
+			if len(keys) == 1 {
+				return keyOf(r, keys[0])
+			}
+			return sqltypes.NewString(multiKeyOf(r, keys))
+		},
+	}
+	return ec.RDD.NewShuffledRDD(child, part), nil
+}
+
+// ---------------------------------------------------------------------------
+// Union
+
+// UnionExec concatenates children with identical schemas.
+type UnionExec struct {
+	Inputs []Exec
+}
+
+// NewUnion builds a union operator.
+func NewUnion(inputs ...Exec) *UnionExec { return &UnionExec{Inputs: inputs} }
+
+// Schema implements Exec.
+func (u *UnionExec) Schema() *sqltypes.Schema { return u.Inputs[0].Schema() }
+
+// Children implements Exec.
+func (u *UnionExec) Children() []Exec { return u.Inputs }
+
+func (u *UnionExec) String() string { return fmt.Sprintf("Union (%d inputs)", len(u.Inputs)) }
+
+// Execute implements Exec.
+func (u *UnionExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	rdds := make([]rdd.RDD, len(u.Inputs))
+	for i, in := range u.Inputs {
+		r, err := in.Execute(ec)
+		if err != nil {
+			return nil, err
+		}
+		rdds[i] = r
+	}
+	return ec.RDD.NewUnionRDD(rdds...), nil
+}

@@ -1,0 +1,144 @@
+// Package physical implements the physical operators the planner lowers
+// logical plans into, including the paper's indexed operators (IndexLookup,
+// IndexedScan, IndexedJoin) alongside the vanilla ones (columnar scan,
+// filter, project, hash aggregate, shuffle/broadcast hash join, sort,
+// limit, exchange). Operators execute by building RDD lineage graphs.
+package physical
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"indexeddf/internal/core"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+)
+
+// Exec is a physical operator.
+type Exec interface {
+	// Schema is the operator's output schema.
+	Schema() *sqltypes.Schema
+	// Children returns input operators.
+	Children() []Exec
+	// Execute builds the RDD computing the operator's output.
+	Execute(ec *ExecContext) (rdd.RDD, error)
+	fmt.Stringer
+}
+
+// ExecContext carries per-query execution state. Indexed-table snapshots
+// are memoized so every indexed operator in one query reads the same
+// multi-version view.
+type ExecContext struct {
+	RDD *rdd.Context
+
+	mu    sync.Mutex
+	snaps map[*core.IndexedTable]*core.Snapshot
+}
+
+// NewExecContext builds an ExecContext on an rdd Context.
+func NewExecContext(rc *rdd.Context) *ExecContext {
+	return &ExecContext{RDD: rc, snaps: make(map[*core.IndexedTable]*core.Snapshot)}
+}
+
+// SnapshotOf returns the query's pinned snapshot of t, taking it on first
+// use.
+func (ec *ExecContext) SnapshotOf(t *core.IndexedTable) *core.Snapshot {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	s, ok := ec.snaps[t]
+	if !ok {
+		s = t.Snapshot()
+		ec.snaps[t] = s
+	}
+	return s
+}
+
+// TreeString renders a physical plan as an indented tree.
+func TreeString(e Exec) string {
+	var sb strings.Builder
+	var rec func(Exec, int)
+	rec = func(node Exec, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(node.String())
+		sb.WriteByte('\n')
+		for _, c := range node.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(e, 0)
+	return sb.String()
+}
+
+// NormalizeKey canonicalizes a value for use as a join/group key; it is
+// core.NormalizeKey so probe keys collide with index keys.
+func NormalizeKey(v sqltypes.Value) sqltypes.Value { return core.NormalizeKey(v) }
+
+// encodeValues renders a composite key as a byte string for map grouping.
+func encodeValues(vals []sqltypes.Value) string {
+	var sb []byte
+	var buf [8]byte
+	for _, v := range vals {
+		v = NormalizeKey(v)
+		sb = append(sb, byte(v.T))
+		switch v.T {
+		case sqltypes.Unknown:
+		case sqltypes.Float64:
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+			sb = append(sb, buf[:]...)
+		case sqltypes.String:
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(v.S)))
+			sb = append(sb, buf[:]...)
+			sb = append(sb, v.S...)
+		default:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			sb = append(sb, buf[:]...)
+		}
+	}
+	return string(sb)
+}
+
+// keyOf extracts and normalizes a single-column key.
+func keyOf(row sqltypes.Row, ordinal int) sqltypes.Value {
+	return NormalizeKey(row[ordinal])
+}
+
+// multiKeyOf extracts a composite key string.
+func multiKeyOf(row sqltypes.Row, ordinals []int) string {
+	vals := make([]sqltypes.Value, len(ordinals))
+	for i, o := range ordinals {
+		vals[i] = row[o]
+	}
+	return encodeValues(vals)
+}
+
+// hasNullKey reports whether any key column is NULL (null keys never join).
+func hasNullKey(row sqltypes.Row, ordinals []int) bool {
+	for _, o := range ordinals {
+		if row[o].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// nullRow returns a row of n NULLs (outer-join padding).
+func nullRow(n int) sqltypes.Row {
+	r := make(sqltypes.Row, n)
+	for i := range r {
+		r[i] = sqltypes.Null
+	}
+	return r
+}
+
+// callbackIter adapts a push-style producer into a RowIter by buffering.
+type sliceBuilder struct {
+	rows []sqltypes.Row
+}
+
+func (b *sliceBuilder) add(r sqltypes.Row) { b.rows = append(b.rows, r) }
+func (b *sliceBuilder) iter() sqltypes.RowIter {
+	return sqltypes.NewSliceIter(b.rows)
+}

@@ -1,0 +1,291 @@
+package physical
+
+import (
+	"fmt"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+)
+
+// JoinType mirrors plan join types at the physical level.
+type JoinType uint8
+
+// Physical join types.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+)
+
+func (t JoinType) String() string { return [...]string{"Inner", "LeftOuter"}[t] }
+
+// buildHashTable maps normalized composite keys to build-side rows,
+// skipping null keys (SQL equi-joins never match NULL).
+func buildHashTable(rows []sqltypes.Row, keys []int) map[string][]sqltypes.Row {
+	ht := make(map[string][]sqltypes.Row, len(rows))
+	for _, r := range rows {
+		if hasNullKey(r, keys) {
+			continue
+		}
+		k := multiKeyOf(r, keys)
+		ht[k] = append(ht[k], r)
+	}
+	return ht
+}
+
+// probe joins stream rows against the hash table; residual (bound against
+// the concatenated left+right schema) further filters matches.
+func probe(stream []sqltypes.Row, ht map[string][]sqltypes.Row, streamKeys []int,
+	streamIsLeft bool, joinType JoinType, residual expr.Expr, buildWidth int) ([]sqltypes.Row, error) {
+	var out []sqltypes.Row
+	for _, s := range stream {
+		matched := false
+		if !hasNullKey(s, streamKeys) {
+			for _, b := range ht[multiKeyOf(s, streamKeys)] {
+				var joined sqltypes.Row
+				if streamIsLeft {
+					joined = s.Concat(b)
+				} else {
+					joined = b.Concat(s)
+				}
+				if residual != nil {
+					keep, err := expr.EvalPredicate(residual, joined)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, joined)
+			}
+		}
+		if !matched && joinType == LeftOuterJoin && streamIsLeft {
+			out = append(out, s.Concat(nullRow(buildWidth)))
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleHashJoin
+
+// ShuffleHashJoinExec hash partitions both sides on the join key and joins
+// each pair of co-partitions (build = right).
+type ShuffleHashJoinExec struct {
+	Left, Right         Exec
+	LeftKeys, RightKeys []int
+	Type                JoinType
+	Residual            expr.Expr
+	NumPartitions       int
+}
+
+// NewShuffleHashJoin builds a shuffle hash join.
+func NewShuffleHashJoin(left, right Exec, leftKeys, rightKeys []int, t JoinType,
+	residual expr.Expr, numPartitions int) *ShuffleHashJoinExec {
+	return &ShuffleHashJoinExec{Left: left, Right: right, LeftKeys: leftKeys,
+		RightKeys: rightKeys, Type: t, Residual: residual, NumPartitions: numPartitions}
+}
+
+// Schema implements Exec.
+func (j *ShuffleHashJoinExec) Schema() *sqltypes.Schema {
+	return j.Left.Schema().Concat(j.Right.Schema())
+}
+
+// Children implements Exec.
+func (j *ShuffleHashJoinExec) Children() []Exec { return []Exec{j.Left, j.Right} }
+
+func (j *ShuffleHashJoinExec) String() string {
+	return fmt.Sprintf("ShuffleHashJoin %s lkeys=%v rkeys=%v", j.Type, j.LeftKeys, j.RightKeys)
+}
+
+// Execute implements Exec.
+func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	left, err := j.Left.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	mkPart := func(keys []int) rdd.Partitioner {
+		return &rdd.HashPartitioner{N: j.NumPartitions, Key: func(r sqltypes.Row) sqltypes.Value {
+			if len(keys) == 1 {
+				return keyOf(r, keys[0])
+			}
+			return sqltypes.NewString(multiKeyOf(r, keys))
+		}}
+	}
+	ls := ec.RDD.NewShuffledRDD(left, mkPart(j.LeftKeys))
+	rs := ec.RDD.NewShuffledRDD(right, mkPart(j.RightKeys))
+	lKeys, rKeys := j.LeftKeys, j.RightKeys
+	jt, residual := j.Type, j.Residual
+	rightWidth := j.Right.Schema().Len()
+	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
+		rrows, err := sqltypes.Drain(rit)
+		if err != nil {
+			return nil, err
+		}
+		lrows, err := sqltypes.Drain(lit)
+		if err != nil {
+			return nil, err
+		}
+		ht := buildHashTable(rrows, rKeys)
+		out, err := probe(lrows, ht, lKeys, true, jt, residual, rightWidth)
+		if err != nil {
+			return nil, err
+		}
+		return sqltypes.NewSliceIter(out), nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// BroadcastHashJoin
+
+// BroadcastHashJoinExec collects the build side at the driver and streams
+// the other side through a hash table, avoiding any shuffle.
+type BroadcastHashJoinExec struct {
+	Stream, Build         Exec
+	StreamKeys, BuildKeys []int
+	// BuildIsRight records whether Build is the logical right side (output
+	// column order must stay left-then-right).
+	BuildIsRight bool
+	Type         JoinType
+	Residual     expr.Expr
+}
+
+// NewBroadcastHashJoin builds a broadcast hash join.
+func NewBroadcastHashJoin(stream, build Exec, streamKeys, buildKeys []int,
+	buildIsRight bool, t JoinType, residual expr.Expr) *BroadcastHashJoinExec {
+	return &BroadcastHashJoinExec{Stream: stream, Build: build, StreamKeys: streamKeys,
+		BuildKeys: buildKeys, BuildIsRight: buildIsRight, Type: t, Residual: residual}
+}
+
+// Schema implements Exec.
+func (j *BroadcastHashJoinExec) Schema() *sqltypes.Schema {
+	if j.BuildIsRight {
+		return j.Stream.Schema().Concat(j.Build.Schema())
+	}
+	return j.Build.Schema().Concat(j.Stream.Schema())
+}
+
+// Children implements Exec.
+func (j *BroadcastHashJoinExec) Children() []Exec { return []Exec{j.Stream, j.Build} }
+
+func (j *BroadcastHashJoinExec) String() string {
+	return fmt.Sprintf("BroadcastHashJoin %s skeys=%v bkeys=%v", j.Type, j.StreamKeys, j.BuildKeys)
+}
+
+// Execute implements Exec.
+func (j *BroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	buildRDD, err := j.Build.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	buildRows, err := ec.RDD.Collect(buildRDD) // the broadcast
+	if err != nil {
+		return nil, err
+	}
+	ht := buildHashTable(buildRows, j.BuildKeys)
+	stream, err := j.Stream.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	sKeys := j.StreamKeys
+	jt, residual := j.Type, j.Residual
+	buildWidth := j.Build.Schema().Len()
+	streamIsLeft := j.BuildIsRight
+	return ec.RDD.NewIterRDD(stream, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		srows, err := sqltypes.Drain(in)
+		if err != nil {
+			return nil, err
+		}
+		out, err := probe(srows, ht, sKeys, streamIsLeft, jt, residual, buildWidth)
+		if err != nil {
+			return nil, err
+		}
+		return sqltypes.NewSliceIter(out), nil
+	}), nil
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoin
+
+// NestedLoopJoinExec evaluates an arbitrary condition against the cross
+// product, broadcasting the right side. The fallback for non-equi joins.
+type NestedLoopJoinExec struct {
+	Left, Right Exec
+	Type        JoinType
+	Cond        expr.Expr // bound against concatenated schema; nil = cross
+}
+
+// NewNestedLoopJoin builds a nested-loop join.
+func NewNestedLoopJoin(left, right Exec, t JoinType, cond expr.Expr) *NestedLoopJoinExec {
+	return &NestedLoopJoinExec{Left: left, Right: right, Type: t, Cond: cond}
+}
+
+// Schema implements Exec.
+func (j *NestedLoopJoinExec) Schema() *sqltypes.Schema {
+	return j.Left.Schema().Concat(j.Right.Schema())
+}
+
+// Children implements Exec.
+func (j *NestedLoopJoinExec) Children() []Exec { return []Exec{j.Left, j.Right} }
+
+func (j *NestedLoopJoinExec) String() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("NestedLoopJoin %s (cross)", j.Type)
+	}
+	return fmt.Sprintf("NestedLoopJoin %s on %s", j.Type, j.Cond)
+}
+
+// Execute implements Exec.
+func (j *NestedLoopJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	rightRDD, err := j.Right.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := ec.RDD.Collect(rightRDD)
+	if err != nil {
+		return nil, err
+	}
+	left, err := j.Left.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	cond, jt := j.Cond, j.Type
+	rightWidth := j.Right.Schema().Len()
+	return ec.RDD.NewIterRDD(left, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		var out []sqltypes.Row
+		for {
+			l, err := in.Next()
+			if err != nil {
+				return nil, err
+			}
+			if l == nil {
+				break
+			}
+			matched := false
+			for _, r := range rightRows {
+				joined := l.Concat(r)
+				if cond != nil {
+					keep, err := expr.EvalPredicate(cond, joined)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, joined)
+			}
+			if !matched && jt == LeftOuterJoin {
+				out = append(out, l.Concat(nullRow(rightWidth)))
+			}
+		}
+		return sqltypes.NewSliceIter(out), nil
+	}), nil
+}

@@ -1,0 +1,552 @@
+// Package plan defines the logical query plan — the abstract representation
+// Catalyst-style optimization works on. Plans are built unresolved (column
+// names as strings), then the analyzer in internal/opt binds expressions to
+// ordinals and computes schemas.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/sqltypes"
+)
+
+// Stats carries the cardinality estimate used by planning heuristics
+// (broadcast thresholds, build-side selection).
+type Stats struct {
+	Rows int64
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema returns the node's output schema; nil until the plan is
+	// analyzed (expression-bearing nodes need binding to know types).
+	Schema() *sqltypes.Schema
+	// Children returns input plans.
+	Children() []Node
+	// WithChildren rebuilds the node with new children (same arity).
+	WithChildren(children []Node) (Node, error)
+	// Stats estimates output cardinality.
+	Stats() Stats
+	fmt.Stringer
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+
+// Relation scans a catalog table. Alias qualifies the output columns
+// (defaulting to the table name) so joins can disambiguate.
+type Relation struct {
+	Table catalog.Table
+	Alias string
+}
+
+// NewRelation builds a relation node.
+func NewRelation(t catalog.Table, alias string) *Relation {
+	if alias == "" {
+		alias = t.Name()
+	}
+	return &Relation{Table: t, Alias: alias}
+}
+
+// Schema implements Node; columns are qualified by the alias.
+func (r *Relation) Schema() *sqltypes.Schema { return r.Table.Schema().Qualify(r.Alias) }
+
+// Children implements Node.
+func (r *Relation) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (r *Relation) WithChildren(c []Node) (Node, error) {
+	if len(c) != 0 {
+		return nil, fmt.Errorf("plan: relation takes no children")
+	}
+	return r, nil
+}
+
+// Stats implements Node.
+func (r *Relation) Stats() Stats { return Stats{Rows: r.Table.RowCount()} }
+
+func (r *Relation) String() string {
+	kind := "Relation"
+	if _, ok := r.Table.(*catalog.IndexedTable); ok {
+		kind = "IndexedRelation"
+	}
+	return fmt.Sprintf("%s %s as %s", kind, r.Table.Name(), r.Alias)
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+// Project computes expressions over its child.
+type Project struct {
+	Exprs  []expr.Expr
+	Child  Node
+	schema *sqltypes.Schema
+}
+
+// NewProject builds a projection.
+func NewProject(exprs []expr.Expr, child Node) *Project {
+	p := &Project{Exprs: exprs, Child: child}
+	p.computeSchema()
+	return p
+}
+
+func (p *Project) computeSchema() {
+	for _, e := range p.Exprs {
+		if !e.Resolved() {
+			p.schema = nil
+			return
+		}
+	}
+	fields := make([]sqltypes.Field, len(p.Exprs))
+	for i, e := range p.Exprs {
+		fields[i] = sqltypes.Field{Name: OutputName(e, i), Type: e.Type(), Nullable: true}
+	}
+	p.schema = sqltypes.NewSchema(fields...)
+}
+
+// OutputName derives the column name an expression produces.
+func OutputName(e expr.Expr, i int) string {
+	switch t := e.(type) {
+	case *expr.Alias:
+		return t.Name
+	case *expr.Bound:
+		return t.Name
+	case *expr.Col:
+		return t.Name
+	default:
+		return fmt.Sprintf("col%d", i)
+	}
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *sqltypes.Schema { return p.schema }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// WithChildren implements Node.
+func (p *Project) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: project takes 1 child")
+	}
+	return NewProject(p.Exprs, c[0]), nil
+}
+
+// WithExprs rebuilds the projection with new expressions.
+func (p *Project) WithExprs(exprs []expr.Expr) *Project { return NewProject(exprs, p.Child) }
+
+// Stats implements Node.
+func (p *Project) Stats() Stats { return p.Child.Stats() }
+
+func (p *Project) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project [" + strings.Join(parts, ", ") + "]"
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// Filter keeps rows satisfying Cond.
+type Filter struct {
+	Cond  expr.Expr
+	Child Node
+}
+
+// NewFilter builds a filter.
+func NewFilter(cond expr.Expr, child Node) *Filter { return &Filter{Cond: cond, Child: child} }
+
+// Schema implements Node.
+func (f *Filter) Schema() *sqltypes.Schema { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// WithChildren implements Node.
+func (f *Filter) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: filter takes 1 child")
+	}
+	return NewFilter(f.Cond, c[0]), nil
+}
+
+// Stats implements Node; equality predicates are assumed selective.
+func (f *Filter) Stats() Stats {
+	child := f.Child.Stats()
+	sel := 0.25
+	if cmp, ok := f.Cond.(*expr.Cmp); ok && cmp.Op == expr.Eq {
+		sel = 0.01
+	}
+	rows := int64(float64(child.Rows) * sel)
+	if rows < 1 {
+		rows = 1
+	}
+	return Stats{Rows: rows}
+}
+
+func (f *Filter) String() string { return fmt.Sprintf("Filter %s", f.Cond) }
+
+// ---------------------------------------------------------------------------
+// Join
+
+// JoinType enumerates supported join types.
+type JoinType uint8
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+)
+
+func (t JoinType) String() string {
+	return [...]string{"Inner", "LeftOuter"}[t]
+}
+
+// Join combines two inputs on a condition (bound against the concatenated
+// schema: left ordinals first).
+type Join struct {
+	Type        JoinType
+	Left, Right Node
+	Cond        expr.Expr // nil = cross join
+}
+
+// NewJoin builds a join node.
+func NewJoin(t JoinType, left, right Node, cond expr.Expr) *Join {
+	return &Join{Type: t, Left: left, Right: right, Cond: cond}
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *sqltypes.Schema {
+	l, r := j.Left.Schema(), j.Right.Schema()
+	if l == nil || r == nil {
+		return nil
+	}
+	out := l.Concat(r)
+	if j.Type == LeftOuterJoin {
+		for i := l.Len(); i < out.Len(); i++ {
+			out.Fields[i].Nullable = true
+		}
+	}
+	return out
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// WithChildren implements Node.
+func (j *Join) WithChildren(c []Node) (Node, error) {
+	if len(c) != 2 {
+		return nil, fmt.Errorf("plan: join takes 2 children")
+	}
+	return NewJoin(j.Type, c[0], c[1], j.Cond), nil
+}
+
+// Stats implements Node.
+func (j *Join) Stats() Stats {
+	l, r := j.Left.Stats().Rows, j.Right.Stats().Rows
+	if l > r {
+		return Stats{Rows: l}
+	}
+	return Stats{Rows: r}
+}
+
+func (j *Join) String() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("Join %s (cross)", j.Type)
+	}
+	return fmt.Sprintf("Join %s on %s", j.Type, j.Cond)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+
+// Aggregate groups by Groups and computes Aggs.
+type Aggregate struct {
+	Groups []expr.Expr
+	Aggs   []expr.Agg
+	Child  Node
+	schema *sqltypes.Schema
+}
+
+// NewAggregate builds an aggregation.
+func NewAggregate(groups []expr.Expr, aggs []expr.Agg, child Node) *Aggregate {
+	a := &Aggregate{Groups: groups, Aggs: aggs, Child: child}
+	a.computeSchema()
+	return a
+}
+
+func (a *Aggregate) computeSchema() {
+	for _, g := range a.Groups {
+		if !g.Resolved() {
+			return
+		}
+	}
+	for _, ag := range a.Aggs {
+		if ag.Arg != nil && !ag.Arg.Resolved() {
+			return
+		}
+	}
+	fields := make([]sqltypes.Field, 0, len(a.Groups)+len(a.Aggs))
+	for i, g := range a.Groups {
+		fields = append(fields, sqltypes.Field{Name: OutputName(g, i), Type: g.Type(), Nullable: true})
+	}
+	for _, ag := range a.Aggs {
+		name := ag.Name
+		if name == "" {
+			name = strings.ToLower(ag.String())
+		}
+		fields = append(fields, sqltypes.Field{Name: name, Type: ag.ResultType(), Nullable: true})
+	}
+	a.schema = sqltypes.NewSchema(fields...)
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *sqltypes.Schema { return a.schema }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// WithChildren implements Node.
+func (a *Aggregate) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: aggregate takes 1 child")
+	}
+	return NewAggregate(a.Groups, a.Aggs, c[0]), nil
+}
+
+// Stats implements Node.
+func (a *Aggregate) Stats() Stats {
+	if len(a.Groups) == 0 {
+		return Stats{Rows: 1}
+	}
+	rows := a.Child.Stats().Rows / 10
+	if rows < 1 {
+		rows = 1
+	}
+	return Stats{Rows: rows}
+}
+
+func (a *Aggregate) String() string {
+	gs := make([]string, len(a.Groups))
+	for i, g := range a.Groups {
+		gs[i] = g.String()
+	}
+	as := make([]string, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		as[i] = ag.String()
+	}
+	return fmt.Sprintf("Aggregate group=[%s] aggs=[%s]",
+		strings.Join(gs, ", "), strings.Join(as, ", "))
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+
+// SortOrder is one ORDER BY term.
+type SortOrder struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+func (o SortOrder) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// Sort orders its child's rows.
+type Sort struct {
+	Orders []SortOrder
+	Child  Node
+}
+
+// NewSort builds a sort node.
+func NewSort(orders []SortOrder, child Node) *Sort { return &Sort{Orders: orders, Child: child} }
+
+// Schema implements Node.
+func (s *Sort) Schema() *sqltypes.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// WithChildren implements Node.
+func (s *Sort) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: sort takes 1 child")
+	}
+	return NewSort(s.Orders, c[0]), nil
+}
+
+// Stats implements Node.
+func (s *Sort) Stats() Stats { return s.Child.Stats() }
+
+func (s *Sort) String() string {
+	parts := make([]string, len(s.Orders))
+	for i, o := range s.Orders {
+		parts[i] = o.String()
+	}
+	return "Sort [" + strings.Join(parts, ", ") + "]"
+}
+
+// ---------------------------------------------------------------------------
+// Limit
+
+// Limit truncates its child to N rows.
+type Limit struct {
+	N     int64
+	Child Node
+}
+
+// NewLimit builds a limit node.
+func NewLimit(n int64, child Node) *Limit { return &Limit{N: n, Child: child} }
+
+// Schema implements Node.
+func (l *Limit) Schema() *sqltypes.Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// WithChildren implements Node.
+func (l *Limit) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: limit takes 1 child")
+	}
+	return NewLimit(l.N, c[0]), nil
+}
+
+// Stats implements Node.
+func (l *Limit) Stats() Stats {
+	rows := l.Child.Stats().Rows
+	if l.N < rows {
+		rows = l.N
+	}
+	return Stats{Rows: rows}
+}
+
+func (l *Limit) String() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// ---------------------------------------------------------------------------
+// Union
+
+// Union concatenates inputs with identical schemas (UNION ALL).
+type Union struct {
+	Inputs []Node
+}
+
+// NewUnion builds a union node.
+func NewUnion(inputs ...Node) *Union { return &Union{Inputs: inputs} }
+
+// Schema implements Node.
+func (u *Union) Schema() *sqltypes.Schema {
+	if len(u.Inputs) == 0 {
+		return nil
+	}
+	return u.Inputs[0].Schema()
+}
+
+// Children implements Node.
+func (u *Union) Children() []Node { return u.Inputs }
+
+// WithChildren implements Node.
+func (u *Union) WithChildren(c []Node) (Node, error) {
+	if len(c) != len(u.Inputs) {
+		return nil, fmt.Errorf("plan: union arity mismatch")
+	}
+	return NewUnion(c...), nil
+}
+
+// Stats implements Node.
+func (u *Union) Stats() Stats {
+	var rows int64
+	for _, in := range u.Inputs {
+		rows += in.Stats().Rows
+	}
+	return Stats{Rows: rows}
+}
+
+func (u *Union) String() string { return fmt.Sprintf("Union (%d inputs)", len(u.Inputs)) }
+
+// ---------------------------------------------------------------------------
+// Values
+
+// Values is an inline row literal relation (used by appends and tests).
+type Values struct {
+	Rows   []sqltypes.Row
+	schema *sqltypes.Schema
+}
+
+// NewValues wraps literal rows with a schema.
+func NewValues(schema *sqltypes.Schema, rows []sqltypes.Row) *Values {
+	return &Values{Rows: rows, schema: schema}
+}
+
+// Schema implements Node.
+func (v *Values) Schema() *sqltypes.Schema { return v.schema }
+
+// Children implements Node.
+func (v *Values) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (v *Values) WithChildren(c []Node) (Node, error) {
+	if len(c) != 0 {
+		return nil, fmt.Errorf("plan: values takes no children")
+	}
+	return v, nil
+}
+
+// Stats implements Node.
+func (v *Values) Stats() Stats { return Stats{Rows: int64(len(v.Rows))} }
+
+func (v *Values) String() string { return fmt.Sprintf("Values (%d rows)", len(v.Rows)) }
+
+// ---------------------------------------------------------------------------
+// Tree utilities
+
+// TreeString renders the plan as an indented tree.
+func TreeString(n Node) string {
+	var sb strings.Builder
+	var rec func(Node, int)
+	rec = func(node Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(node.String())
+		sb.WriteByte('\n')
+		for _, c := range node.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}
+
+// Transform rewrites the plan bottom-up.
+func Transform(n Node, fn func(Node) (Node, error)) (Node, error) {
+	children := n.Children()
+	if len(children) > 0 {
+		newChildren := make([]Node, len(children))
+		changed := false
+		for i, c := range children {
+			nc, err := Transform(c, fn)
+			if err != nil {
+				return nil, err
+			}
+			newChildren[i] = nc
+			if nc != c {
+				changed = true
+			}
+		}
+		if changed {
+			var err error
+			n, err = n.WithChildren(newChildren)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fn(n)
+}

@@ -1,0 +1,311 @@
+package rdd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/storage"
+)
+
+// Context is the engine's "SparkContext": it owns id allocation, the
+// shuffle service, the block manager and the task pool, and schedules jobs.
+type Context struct {
+	rddID       atomic.Int64
+	shuffleID   atomic.Int64
+	parallelism int
+	shuffles    *ShuffleManager
+	// Blocks is the block manager used by cached RDDs.
+	Blocks *storage.Manager
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithParallelism sets the number of concurrent tasks.
+func WithParallelism(n int) Option {
+	return func(c *Context) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+// WithCacheCapacity bounds the block manager (bytes); <=0 is unbounded.
+func WithCacheCapacity(capacity int64) Option {
+	return func(c *Context) { c.Blocks = storage.NewManager(capacity) }
+}
+
+// NewContext builds a Context with sane defaults (parallelism =
+// GOMAXPROCS, unbounded cache).
+func NewContext(opts ...Option) *Context {
+	c := &Context{
+		parallelism: runtime.GOMAXPROCS(0),
+		shuffles:    NewShuffleManager(),
+		Blocks:      storage.NewManager(0),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Parallelism returns the task pool width.
+func (c *Context) Parallelism() int { return c.parallelism }
+
+func (c *Context) nextRDDID() int     { return int(c.rddID.Add(1)) }
+func (c *Context) nextShuffleID() int { return int(c.shuffleID.Add(1)) }
+
+func (c *Context) blockID(owner, partition int) storage.BlockID {
+	return storage.BlockID{Owner: owner, Partition: partition}
+}
+
+// parallelFor runs f(0..n-1) on the task pool and returns the first error.
+func (c *Context) parallelFor(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	width := c.parallelism
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		mu   sync.Mutex
+		errs error
+	)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if errs == nil {
+						errs = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// RunJob schedules the RDD — materializing every shuffle stage it depends
+// on, bottom-up — and returns the rows of each partition. When the job
+// finishes its shuffle outputs are released (Spark keeps them for lineage
+// re-use; our queries build fresh RDD graphs, so retaining them would only
+// leak).
+func (c *Context) RunJob(r RDD) ([][]sqltypes.Row, error) {
+	defer c.releaseShuffles(r, map[int]bool{})
+	if err := c.ensureShuffles(r, map[int]bool{}); err != nil {
+		return nil, err
+	}
+	out := make([][]sqltypes.Row, r.NumPartitions())
+	err := c.parallelFor(r.NumPartitions(), func(p int) error {
+		tc := &TaskContext{Ctx: c, Partition: p}
+		it, err := r.Compute(tc, p)
+		if err != nil {
+			return fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+		}
+		rows, err := sqltypes.Drain(it)
+		if err != nil {
+			return fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+		}
+		out[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Collect runs the job and concatenates all partitions.
+func (c *Context) Collect(r RDD) ([]sqltypes.Row, error) {
+	parts, err := c.RunJob(r)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]sqltypes.Row, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count runs the job and returns the total row count.
+func (c *Context) Count(r RDD) (int64, error) {
+	parts, err := c.RunJob(r)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n, nil
+}
+
+// releaseShuffles drops the map outputs of every shuffle reachable from r.
+func (c *Context) releaseShuffles(r RDD, visited map[int]bool) {
+	if visited[r.ID()] {
+		return
+	}
+	visited[r.ID()] = true
+	for _, dep := range r.Dependencies() {
+		c.releaseShuffles(dep.Parent(), visited)
+		if sd, ok := dep.(*ShuffleDependency); ok {
+			c.shuffles.Drop(sd.ShuffleID)
+		}
+	}
+}
+
+// ensureShuffles walks the lineage graph and materializes every shuffle
+// stage (map outputs) reachable from r, parents first.
+func (c *Context) ensureShuffles(r RDD, visiting map[int]bool) error {
+	if visiting[r.ID()] {
+		return nil
+	}
+	visiting[r.ID()] = true
+	for _, dep := range r.Dependencies() {
+		if err := c.ensureShuffles(dep.Parent(), visiting); err != nil {
+			return err
+		}
+		if sd, ok := dep.(*ShuffleDependency); ok {
+			if err := c.runShuffleStage(sd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runShuffleStage computes the map side of a shuffle: each parent partition
+// is computed and its rows bucketed by the partitioner into the shuffle
+// service. Idempotent per shuffle id.
+func (c *Context) runShuffleStage(dep *ShuffleDependency) error {
+	return c.shuffles.RunOnce(dep.ShuffleID, func() error {
+		parent := dep.P
+		nReduce := dep.Partitioner.NumPartitions()
+		return c.parallelFor(parent.NumPartitions(), func(mapPart int) error {
+			tc := &TaskContext{Ctx: c, Partition: mapPart}
+			it, err := parent.Compute(tc, mapPart)
+			if err != nil {
+				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			}
+			buckets := make([][]sqltypes.Row, nReduce)
+			for {
+				row, err := it.Next()
+				if err != nil {
+					return err
+				}
+				if row == nil {
+					break
+				}
+				b := dep.Partitioner.PartitionFor(row)
+				buckets[b] = append(buckets[b], row)
+			}
+			c.shuffles.Write(dep.ShuffleID, mapPart, buckets)
+			return nil
+		})
+	})
+}
+
+// ShuffleManager is the in-memory shuffle service: map tasks write hashed
+// buckets, reduce tasks fetch the bucket for their partition from every map
+// output.
+type ShuffleManager struct {
+	mu      sync.Mutex
+	outputs map[int]map[int][][]sqltypes.Row // shuffleID -> mapPart -> reducePart -> rows
+	stages  map[int]*shuffleStage
+}
+
+type shuffleStage struct {
+	once sync.Once
+	err  error
+}
+
+// NewShuffleManager returns an empty shuffle service.
+func NewShuffleManager() *ShuffleManager {
+	return &ShuffleManager{
+		outputs: make(map[int]map[int][][]sqltypes.Row),
+		stages:  make(map[int]*shuffleStage),
+	}
+}
+
+// RunOnce executes f exactly once per shuffle id, caching its error.
+func (m *ShuffleManager) RunOnce(shuffleID int, f func() error) error {
+	m.mu.Lock()
+	st, ok := m.stages[shuffleID]
+	if !ok {
+		st = &shuffleStage{}
+		m.stages[shuffleID] = st
+	}
+	m.mu.Unlock()
+	st.once.Do(func() { st.err = f() })
+	return st.err
+}
+
+// Write records one map task's buckets.
+func (m *ShuffleManager) Write(shuffleID, mapPart int, buckets [][]sqltypes.Row) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byMap, ok := m.outputs[shuffleID]
+	if !ok {
+		byMap = make(map[int][][]sqltypes.Row)
+		m.outputs[shuffleID] = byMap
+	}
+	byMap[mapPart] = buckets
+}
+
+// Fetch concatenates reduce partition p across all map outputs.
+func (m *ShuffleManager) Fetch(shuffleID, p int) ([]sqltypes.Row, error) {
+	m.mu.Lock()
+	byMap, ok := m.outputs[shuffleID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
+	}
+	var out []sqltypes.Row
+	for mapPart := 0; ; mapPart++ {
+		buckets, ok := byMap[mapPart]
+		if !ok {
+			break
+		}
+		if p < len(buckets) {
+			out = append(out, buckets[p]...)
+		}
+	}
+	return out, nil
+}
+
+// Drop releases a shuffle's outputs (between benchmark iterations).
+func (m *ShuffleManager) Drop(shuffleID int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.outputs, shuffleID)
+	delete(m.stages, shuffleID)
+}

@@ -1,0 +1,305 @@
+// Package rdd implements the distributed-collection substrate the engine
+// executes on: partitioned resilient datasets with narrow and shuffle
+// dependencies, a hash partitioner, an in-memory shuffle service and a DAG
+// scheduler running tasks on a bounded worker pool — a faithful
+// single-process analogue of Spark's core (Zaharia et al., NSDI 2012),
+// which the Indexed DataFrame plugs into.
+package rdd
+
+import (
+	"fmt"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// RDD is a partitioned dataset of rows. Compute produces one partition's
+// rows; narrow parents are computed inline (pipelined), wide parents are
+// satisfied from shuffle outputs prepared by the scheduler.
+type RDD interface {
+	// ID is unique within a Context.
+	ID() int
+	// NumPartitions returns the partition count.
+	NumPartitions() int
+	// Compute returns an iterator over the rows of one partition.
+	Compute(tc *TaskContext, partition int) (sqltypes.RowIter, error)
+	// Dependencies lists the parent dependencies.
+	Dependencies() []Dependency
+}
+
+// Dependency is an edge in the RDD lineage graph.
+type Dependency interface {
+	Parent() RDD
+}
+
+// OneToOne is a narrow dependency: partition i depends on parent partition i.
+type OneToOne struct{ P RDD }
+
+// Parent implements Dependency.
+func (d OneToOne) Parent() RDD { return d.P }
+
+// ShuffleDependency is a wide dependency: child partitions read hashed
+// buckets of every parent partition.
+type ShuffleDependency struct {
+	P         RDD
+	ShuffleID int
+	// Partitioner routes each parent row to a reduce partition.
+	Partitioner Partitioner
+}
+
+// Parent implements Dependency.
+func (d *ShuffleDependency) Parent() RDD { return d.P }
+
+// Partitioner maps a row to a partition in [0, NumPartitions).
+type Partitioner interface {
+	NumPartitions() int
+	PartitionFor(row sqltypes.Row) int
+}
+
+// HashPartitioner routes rows by the 64-bit hash of a key derived from the
+// row — the scheme the Indexed DataFrame uses on the indexed column.
+type HashPartitioner struct {
+	N   int
+	Key func(sqltypes.Row) sqltypes.Value
+}
+
+// NumPartitions implements Partitioner.
+func (p *HashPartitioner) NumPartitions() int { return p.N }
+
+// PartitionFor implements Partitioner.
+func (p *HashPartitioner) PartitionFor(row sqltypes.Row) int {
+	return int(p.Key(row).Hash64() % uint64(p.N))
+}
+
+// SinglePartitioner routes everything to partition 0 (global sorts/limits).
+type SinglePartitioner struct{}
+
+// NumPartitions implements Partitioner.
+func (SinglePartitioner) NumPartitions() int { return 1 }
+
+// PartitionFor implements Partitioner.
+func (SinglePartitioner) PartitionFor(sqltypes.Row) int { return 0 }
+
+// TaskContext carries per-task state into Compute.
+type TaskContext struct {
+	Ctx       *Context
+	Partition int
+}
+
+// ---------------------------------------------------------------------------
+// Concrete RDDs
+
+// SliceRDD is a materialized dataset: rows pre-split into partitions.
+type SliceRDD struct {
+	id    int
+	parts [][]sqltypes.Row
+}
+
+// NewSliceRDD wraps pre-partitioned rows.
+func (c *Context) NewSliceRDD(parts [][]sqltypes.Row) *SliceRDD {
+	return &SliceRDD{id: c.nextRDDID(), parts: parts}
+}
+
+// Parallelize splits rows round-robin into n partitions.
+func (c *Context) Parallelize(rows []sqltypes.Row, n int) *SliceRDD {
+	if n <= 0 {
+		n = c.Parallelism()
+	}
+	parts := make([][]sqltypes.Row, n)
+	chunk := (len(rows) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		parts[i] = rows[lo:hi]
+	}
+	return c.NewSliceRDD(parts)
+}
+
+// ID implements RDD.
+func (r *SliceRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *SliceRDD) NumPartitions() int { return len(r.parts) }
+
+// Dependencies implements RDD.
+func (r *SliceRDD) Dependencies() []Dependency { return nil }
+
+// Compute implements RDD.
+func (r *SliceRDD) Compute(_ *TaskContext, p int) (sqltypes.RowIter, error) {
+	if p < 0 || p >= len(r.parts) {
+		return nil, fmt.Errorf("rdd: partition %d out of range", p)
+	}
+	return sqltypes.NewSliceIter(r.parts[p]), nil
+}
+
+// IterRDD computes partitions through a user function; the workhorse every
+// physical operator builds on (MapPartitions in Spark terms).
+type IterRDD struct {
+	id     int
+	parent RDD
+	nParts int
+	fn     func(tc *TaskContext, partition int, parent sqltypes.RowIter) (sqltypes.RowIter, error)
+}
+
+// NewIterRDD builds an RDD computing each partition from the parent's
+// partition via fn. With a nil parent, fn receives a nil iterator and nParts
+// must be given.
+func (c *Context) NewIterRDD(parent RDD, nParts int,
+	fn func(tc *TaskContext, partition int, parent sqltypes.RowIter) (sqltypes.RowIter, error)) *IterRDD {
+	if parent != nil {
+		nParts = parent.NumPartitions()
+	}
+	return &IterRDD{id: c.nextRDDID(), parent: parent, nParts: nParts, fn: fn}
+}
+
+// ID implements RDD.
+func (r *IterRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *IterRDD) NumPartitions() int { return r.nParts }
+
+// Dependencies implements RDD.
+func (r *IterRDD) Dependencies() []Dependency {
+	if r.parent == nil {
+		return nil
+	}
+	return []Dependency{OneToOne{P: r.parent}}
+}
+
+// Compute implements RDD.
+func (r *IterRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	var in sqltypes.RowIter
+	if r.parent != nil {
+		var err error
+		in, err = r.parent.Compute(tc, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r.fn(tc, p, in)
+}
+
+// ShuffledRDD reads the reduce side of a shuffle dependency.
+type ShuffledRDD struct {
+	id  int
+	dep *ShuffleDependency
+}
+
+// NewShuffledRDD repartitions parent's rows with part.
+func (c *Context) NewShuffledRDD(parent RDD, part Partitioner) *ShuffledRDD {
+	dep := &ShuffleDependency{P: parent, ShuffleID: c.nextShuffleID(), Partitioner: part}
+	return &ShuffledRDD{id: c.nextRDDID(), dep: dep}
+}
+
+// ID implements RDD.
+func (r *ShuffledRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *ShuffledRDD) NumPartitions() int { return r.dep.Partitioner.NumPartitions() }
+
+// Dependencies implements RDD.
+func (r *ShuffledRDD) Dependencies() []Dependency { return []Dependency{r.dep} }
+
+// Compute implements RDD.
+func (r *ShuffledRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	rows, err := tc.Ctx.shuffles.Fetch(r.dep.ShuffleID, p)
+	if err != nil {
+		return nil, err
+	}
+	return sqltypes.NewSliceIter(rows), nil
+}
+
+// UnionRDD concatenates the partitions of several parents.
+type UnionRDD struct {
+	id      int
+	parents []RDD
+}
+
+// NewUnionRDD builds the union of parents (partition counts add up).
+func (c *Context) NewUnionRDD(parents ...RDD) *UnionRDD {
+	return &UnionRDD{id: c.nextRDDID(), parents: parents}
+}
+
+// ID implements RDD.
+func (r *UnionRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *UnionRDD) NumPartitions() int {
+	n := 0
+	for _, p := range r.parents {
+		n += p.NumPartitions()
+	}
+	return n
+}
+
+// Dependencies implements RDD.
+func (r *UnionRDD) Dependencies() []Dependency {
+	deps := make([]Dependency, len(r.parents))
+	for i, p := range r.parents {
+		deps[i] = OneToOne{P: p}
+	}
+	return deps
+}
+
+// Compute implements RDD.
+func (r *UnionRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	for _, parent := range r.parents {
+		if p < parent.NumPartitions() {
+			return parent.Compute(tc, p)
+		}
+		p -= parent.NumPartitions()
+	}
+	return nil, fmt.Errorf("rdd: union partition out of range")
+}
+
+// CachedRDD memoizes its parent's partitions in the context's block
+// manager. The first computation of a partition materializes and stores it;
+// later computations hit the cache.
+type CachedRDD struct {
+	id     int
+	parent RDD
+}
+
+// NewCachedRDD wraps parent with block-manager caching.
+func (c *Context) NewCachedRDD(parent RDD) *CachedRDD {
+	return &CachedRDD{id: c.nextRDDID(), parent: parent}
+}
+
+// ID implements RDD.
+func (r *CachedRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *CachedRDD) NumPartitions() int { return r.parent.NumPartitions() }
+
+// Dependencies implements RDD.
+func (r *CachedRDD) Dependencies() []Dependency { return []Dependency{OneToOne{P: r.parent}} }
+
+// Compute implements RDD.
+func (r *CachedRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	id := tc.Ctx.blockID(r.id, p)
+	if v, ok := tc.Ctx.Blocks.Get(id); ok {
+		return sqltypes.NewSliceIter(v.([]sqltypes.Row)), nil
+	}
+	it, err := r.parent.Compute(tc, p)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := sqltypes.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	for _, row := range rows {
+		size += int64(len(row)) * 24
+		for _, v := range row {
+			size += int64(len(v.S))
+		}
+	}
+	tc.Ctx.Blocks.Put(id, rows, size)
+	return sqltypes.NewSliceIter(rows), nil
+}

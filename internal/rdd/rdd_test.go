@@ -1,0 +1,225 @@
+package rdd
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"indexeddf/internal/sqltypes"
+)
+
+func intRows(n int) []sqltypes.Row {
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt64(int64(i))}
+	}
+	return rows
+}
+
+func rowInts(rows []sqltypes.Row) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = int(r[0].Int64Val())
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	c := NewContext(WithParallelism(4))
+	r := c.Parallelize(intRows(100), 7)
+	if r.NumPartitions() != 7 {
+		t.Fatalf("NumPartitions = %d", r.NumPartitions())
+	}
+	rows, err := c.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowInts(rows)
+	if len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("Collect lost rows: %d rows", len(got))
+	}
+	n, err := c.Count(r)
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestParallelizeEmptyAndSmall(t *testing.T) {
+	c := NewContext()
+	r := c.Parallelize(nil, 4)
+	rows, err := c.Collect(r)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty collect: %v %v", rows, err)
+	}
+	// Fewer rows than partitions.
+	r2 := c.Parallelize(intRows(2), 8)
+	rows2, err := c.Collect(r2)
+	if err != nil || len(rows2) != 2 {
+		t.Fatalf("small collect: %v %v", rows2, err)
+	}
+}
+
+func TestIterRDDPipelining(t *testing.T) {
+	c := NewContext()
+	base := c.Parallelize(intRows(50), 4)
+	doubled := c.NewIterRDD(base, 0, func(_ *TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		rows, err := sqltypes.Drain(in)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sqltypes.Row, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, sqltypes.Row{sqltypes.NewInt64(r[0].Int64Val() * 2)})
+		}
+		return sqltypes.NewSliceIter(out), nil
+	})
+	rows, err := c.Collect(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowInts(rows)
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestShuffleGroupsByKey(t *testing.T) {
+	c := NewContext(WithParallelism(2))
+	base := c.Parallelize(intRows(1000), 8)
+	part := &HashPartitioner{N: 5, Key: func(r sqltypes.Row) sqltypes.Value { return r[0] }}
+	sh := c.NewShuffledRDD(base, part)
+	parts, err := c.RunJob(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 {
+		t.Fatalf("reduce partitions = %d", len(parts))
+	}
+	// Every row lands exactly once, in the partition its hash selects.
+	total := 0
+	for p, rows := range parts {
+		total += len(rows)
+		for _, r := range rows {
+			if want := int(r[0].Hash64() % 5); want != p {
+				t.Fatalf("row %v in partition %d, want %d", r, p, want)
+			}
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("total rows after shuffle = %d", total)
+	}
+}
+
+func TestShuffleChain(t *testing.T) {
+	// Two shuffles back to back exercise multi-stage scheduling.
+	c := NewContext()
+	base := c.Parallelize(intRows(200), 4)
+	p1 := &HashPartitioner{N: 3, Key: func(r sqltypes.Row) sqltypes.Value { return r[0] }}
+	s1 := c.NewShuffledRDD(base, p1)
+	s2 := c.NewShuffledRDD(s1, SinglePartitioner{})
+	rows, err := c.Collect(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("rows after two shuffles = %d", len(rows))
+	}
+}
+
+func TestUnionRDD(t *testing.T) {
+	c := NewContext()
+	a := c.Parallelize(intRows(10), 2)
+	b := c.Parallelize(intRows(5), 3)
+	u := c.NewUnionRDD(a, b)
+	if u.NumPartitions() != 5 {
+		t.Fatalf("union partitions = %d", u.NumPartitions())
+	}
+	rows, err := c.Collect(u)
+	if err != nil || len(rows) != 15 {
+		t.Fatalf("union rows = %d, %v", len(rows), err)
+	}
+}
+
+func TestCachedRDDMemoizes(t *testing.T) {
+	c := NewContext()
+	var computes atomic.Int64
+	base := c.NewIterRDD(nil, 3, func(_ *TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
+		computes.Add(1)
+		return sqltypes.NewSliceIter(intRows(4)), nil
+	})
+	cached := c.NewCachedRDD(base)
+	if _, err := c.Collect(cached); err != nil {
+		t.Fatal(err)
+	}
+	first := computes.Load()
+	if first != 3 {
+		t.Fatalf("first run computed %d partitions", first)
+	}
+	if _, err := c.Collect(cached); err != nil {
+		t.Fatal(err)
+	}
+	if got := computes.Load(); got != first {
+		t.Fatalf("second run recomputed: %d -> %d", first, got)
+	}
+	stats := c.Blocks.Stats()
+	if stats.Blocks != 3 || stats.Hits == 0 {
+		t.Fatalf("cache stats: %+v", stats)
+	}
+}
+
+func TestComputeErrorPropagates(t *testing.T) {
+	c := NewContext()
+	boom := errors.New("boom")
+	bad := c.NewIterRDD(nil, 4, func(_ *TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
+		if p == 2 {
+			return nil, boom
+		}
+		return sqltypes.NewSliceIter(nil), nil
+	})
+	if _, err := c.Collect(bad); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Error inside a shuffle map stage propagates too.
+	sh := c.NewShuffledRDD(bad, SinglePartitioner{})
+	if _, err := c.Collect(sh); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("shuffle error not propagated: %v", err)
+	}
+}
+
+func TestShuffleFetchWithoutStageFails(t *testing.T) {
+	m := NewShuffleManager()
+	if _, err := m.Fetch(42, 0); err == nil {
+		t.Fatal("Fetch of unknown shuffle should fail")
+	}
+}
+
+func TestShuffleDropAllowsRerun(t *testing.T) {
+	m := NewShuffleManager()
+	runs := 0
+	_ = m.RunOnce(1, func() error { runs++; return nil })
+	_ = m.RunOnce(1, func() error { runs++; return nil })
+	if runs != 1 {
+		t.Fatalf("RunOnce ran %d times", runs)
+	}
+	m.Drop(1)
+	_ = m.RunOnce(1, func() error { runs++; return nil })
+	if runs != 2 {
+		t.Fatalf("RunOnce after Drop ran %d times", runs)
+	}
+}
+
+func TestHashPartitionerDeterminism(t *testing.T) {
+	p := &HashPartitioner{N: 7, Key: func(r sqltypes.Row) sqltypes.Value { return r[0] }}
+	for i := 0; i < 100; i++ {
+		row := sqltypes.Row{sqltypes.NewInt64(int64(i))}
+		a := p.PartitionFor(row)
+		b := p.PartitionFor(row)
+		if a != b || a < 0 || a >= 7 {
+			t.Fatalf("partitioner unstable or out of range: %d %d", a, b)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package rdd
+
+import (
+	"fmt"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// ZipRDD computes each partition from the co-partitioned partitions of two
+// parents (the reduce side of a shuffle hash join).
+type ZipRDD struct {
+	id   int
+	a, b RDD
+	fn   func(tc *TaskContext, partition int, a, b sqltypes.RowIter) (sqltypes.RowIter, error)
+}
+
+// NewZipRDD zips two RDDs with identical partition counts.
+func (c *Context) NewZipRDD(a, b RDD,
+	fn func(tc *TaskContext, partition int, a, b sqltypes.RowIter) (sqltypes.RowIter, error)) (*ZipRDD, error) {
+	if a.NumPartitions() != b.NumPartitions() {
+		return nil, fmt.Errorf("rdd: zip of %d and %d partitions", a.NumPartitions(), b.NumPartitions())
+	}
+	return &ZipRDD{id: c.nextRDDID(), a: a, b: b, fn: fn}, nil
+}
+
+// ID implements RDD.
+func (r *ZipRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *ZipRDD) NumPartitions() int { return r.a.NumPartitions() }
+
+// Dependencies implements RDD.
+func (r *ZipRDD) Dependencies() []Dependency {
+	return []Dependency{OneToOne{P: r.a}, OneToOne{P: r.b}}
+}
+
+// Compute implements RDD.
+func (r *ZipRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	ita, err := r.a.Compute(tc, p)
+	if err != nil {
+		return nil, err
+	}
+	itb, err := r.b.Compute(tc, p)
+	if err != nil {
+		return nil, err
+	}
+	return r.fn(tc, p, ita, itb)
+}

@@ -1,0 +1,187 @@
+package snb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// Config parameterizes the generator. ScaleFactor 1.0 produces roughly
+// 1k persons / 15k knows edges / 3k posts / 6k comments — shaped like LDBC
+// at laptop scale.
+type Config struct {
+	ScaleFactor float64
+	Seed        int64
+	// KnowsPerPerson is the mean out-degree (default 15; LDBC-ish).
+	KnowsPerPerson int
+	// PostsPerPerson is the mean post count (default 3).
+	PostsPerPerson int
+	// CommentsPerPerson is the mean comment count (default 6).
+	CommentsPerPerson int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScaleFactor <= 0 {
+		c.ScaleFactor = 1
+	}
+	if c.KnowsPerPerson <= 0 {
+		c.KnowsPerPerson = 15
+	}
+	if c.PostsPerPerson <= 0 {
+		c.PostsPerPerson = 3
+	}
+	if c.CommentsPerPerson <= 0 {
+		c.CommentsPerPerson = 6
+	}
+	return c
+}
+
+var (
+	firstNames = []string{"Jan", "Alex", "Bogdan", "Ankur", "Peter", "Maria", "Wei",
+		"Carmen", "Ali", "Jun", "Rafael", "Ivan", "Otto", "Hans", "Emma", "Noah",
+		"Lucas", "Mia", "Yang", "Ken", "Abdul", "Bryn", "Chen", "Eli", "Fatima"}
+	lastNames = []string{"Smith", "Khan", "Li", "Perez", "Kumar", "Garcia", "Yang",
+		"Hoffmann", "Bos", "Novak", "Jensen", "Costa", "Brown", "Zhang", "Berg",
+		"Petrov", "Murphy", "Silva", "Sato", "Okafor"}
+	browsers  = []string{"Firefox", "Chrome", "Safari", "Internet Explorer", "Opera"}
+	languages = []string{"en", "nl", "de", "zh", "es", "ro", "fr"}
+	words     = []string{"about", "graph", "query", "spark", "index", "social",
+		"network", "photo", "maybe", "great", "trip", "concert", "paper", "data",
+		"frame", "cache", "stream", "latency", "join", "lookup", "update", "fast"}
+)
+
+// epoch2018 is 2018-01-01 00:00:00 UTC in microseconds.
+const epoch2018 = int64(1514764800) * 1_000_000
+
+// yearMicros is one year in microseconds.
+const yearMicros = int64(365*24*3600) * 1_000_000
+
+// Generate builds a deterministic dataset.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nPersons := int(1000 * cfg.ScaleFactor)
+	if nPersons < 10 {
+		nPersons = 10
+	}
+	d := &Dataset{}
+
+	// Persons, creation dates increasing with id.
+	for i := 0; i < nPersons; i++ {
+		id := PersonIDBase + int64(i+1)
+		created := epoch2018 + int64(i)*yearMicros/int64(nPersons) + rng.Int63n(3_600_000_000)
+		d.Persons = append(d.Persons, sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewString(firstNames[rng.Intn(len(firstNames))]),
+			sqltypes.NewString(lastNames[rng.Intn(len(lastNames))]),
+			sqltypes.NewString([]string{"male", "female"}[rng.Intn(2)]),
+			sqltypes.NewTimestamp(epoch2018 - int64(18+rng.Intn(40))*yearMicros),
+			sqltypes.NewTimestamp(created),
+			sqltypes.NewString(randomIP(rng)),
+			sqltypes.NewString(browsers[rng.Intn(len(browsers))]),
+			sqltypes.NewInt64(int64(rng.Intn(100))),
+		})
+	}
+
+	// Knows edges with a skewed (power-law-ish) degree distribution:
+	// person popularity ~ Zipf over targets, degree ~ geometric around the
+	// mean — the hub-and-spoke shape SNB exhibits.
+	zipf := rand.NewZipf(rng, 1.2, 4, uint64(nPersons-1))
+	seen := map[[2]int64]bool{}
+	for i := 0; i < nPersons; i++ {
+		p1 := PersonIDBase + int64(i+1)
+		deg := 1 + rng.Intn(2*cfg.KnowsPerPerson)
+		for e := 0; e < deg; e++ {
+			p2 := PersonIDBase + int64(zipf.Uint64()+1)
+			if p2 == p1 {
+				continue
+			}
+			k := [2]int64{p1, p2}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			created := epoch2018 + rng.Int63n(yearMicros)
+			d.Knows = append(d.Knows, sqltypes.Row{
+				sqltypes.NewInt64(p1),
+				sqltypes.NewInt64(p2),
+				sqltypes.NewTimestamp(created),
+			})
+		}
+	}
+
+	// Forums.
+	nForums := nPersons/10 + 1
+	for i := 0; i < nForums; i++ {
+		id := ForumIDBase + int64(i+1)
+		d.Forums = append(d.Forums, sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewString(fmt.Sprintf("Wall of %s %d", words[rng.Intn(len(words))], i)),
+			sqltypes.NewInt64(PersonIDBase + int64(rng.Intn(nPersons)+1)),
+			sqltypes.NewTimestamp(epoch2018 + rng.Int63n(yearMicros)),
+		})
+	}
+
+	// Posts: authorship skewed by the same Zipf.
+	nPosts := nPersons * cfg.PostsPerPerson
+	for i := 0; i < nPosts; i++ {
+		id := PostIDBase + int64(i+1)
+		creator := PersonIDBase + int64(zipf.Uint64()+1)
+		content := randomContent(rng, 3+rng.Intn(20))
+		d.Posts = append(d.Posts, sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewInt64(creator),
+			sqltypes.NewInt64(ForumIDBase + int64(rng.Intn(nForums)+1)),
+			sqltypes.NewTimestamp(epoch2018 + int64(i)*yearMicros/int64(nPosts+1) + rng.Int63n(3_600_000_000)),
+			sqltypes.NewString(randomIP(rng)),
+			sqltypes.NewString(browsers[rng.Intn(len(browsers))]),
+			sqltypes.NewString(languages[rng.Intn(len(languages))]),
+			sqltypes.NewString(content),
+			sqltypes.NewInt32(int32(len(content))),
+		})
+	}
+
+	// Comments: 70% reply to a post, 30% to an earlier comment (bounded
+	// reply-chain depth, like SNB threads).
+	nComments := nPersons * cfg.CommentsPerPerson
+	for i := 0; i < nComments; i++ {
+		id := CommentIDBase + int64(i+1)
+		creator := PersonIDBase + int64(zipf.Uint64()+1)
+		content := randomContent(rng, 2+rng.Intn(12))
+		replyOfPost := sqltypes.Null
+		replyOfComment := sqltypes.Null
+		if i == 0 || rng.Float64() < 0.7 {
+			replyOfPost = sqltypes.NewInt64(PostIDBase + int64(rng.Intn(nPosts)+1))
+		} else {
+			replyOfComment = sqltypes.NewInt64(CommentIDBase + int64(rng.Intn(i)+1))
+		}
+		d.Comments = append(d.Comments, sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewInt64(creator),
+			sqltypes.NewTimestamp(epoch2018 + int64(i)*yearMicros/int64(nComments+1) + rng.Int63n(3_600_000_000)),
+			sqltypes.NewString(randomIP(rng)),
+			sqltypes.NewString(browsers[rng.Intn(len(browsers))]),
+			sqltypes.NewString(content),
+			sqltypes.NewInt32(int32(len(content))),
+			replyOfPost,
+			replyOfComment,
+		})
+	}
+	return d
+}
+
+func randomIP(rng *rand.Rand) string {
+	return fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(254), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+func randomContent(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package snb
+
+import (
+	"fmt"
+
+	"indexeddf"
+	"indexeddf/internal/sqltypes"
+)
+
+// Graph is a loaded social network, queryable through either engine.
+// In vanilla mode the five tables are columnar-cached DataFrames; in
+// indexed mode each access path additionally gets an Indexed DataFrame
+// copy (the paper's library supports one index per DataFrame, so distinct
+// access paths are distinct indexed frames).
+type Graph struct {
+	Sess    *indexeddf.Session
+	Indexed bool
+
+	Person, Knows, Post, Comment, Forum *indexeddf.DataFrame
+
+	// Indexed access paths (nil in vanilla mode).
+	PersonByID       *indexeddf.DataFrame // person(id)
+	KnowsByP1        *indexeddf.DataFrame // knows(person1Id)
+	PostByID         *indexeddf.DataFrame // post(id)
+	PostByCreator    *indexeddf.DataFrame // post(creatorId)
+	CommentByID      *indexeddf.DataFrame // comment(id)
+	CommentByCreator *indexeddf.DataFrame // comment(creatorId)
+	CommentByReplyP  *indexeddf.DataFrame // comment(replyOfPost)
+	CommentByReplyC  *indexeddf.DataFrame // comment(replyOfComment)
+	ForumByID        *indexeddf.DataFrame // forum(id)
+}
+
+// Load builds a Graph in the session from a dataset. Vanilla tables are
+// always created and cached (Figure 2/3's baseline runs on cached
+// dataframes); indexed=true additionally builds the indexed copies.
+func Load(sess *indexeddf.Session, d *Dataset, indexed bool) (*Graph, error) {
+	g := &Graph{Sess: sess, Indexed: indexed}
+	var err error
+	load := func(name string, schema *sqltypes.Schema, rows []sqltypes.Row) *indexeddf.DataFrame {
+		if err != nil {
+			return nil
+		}
+		df, e := sess.CreateTable(name, schema, rows)
+		if e != nil {
+			err = e
+			return nil
+		}
+		if _, e := df.Cache(); e != nil {
+			err = e
+			return nil
+		}
+		return df
+	}
+	g.Person = load("person", PersonSchema(), d.Persons)
+	g.Knows = load("knows", KnowsSchema(), d.Knows)
+	g.Post = load("post", PostSchema(), d.Posts)
+	g.Comment = load("comment", CommentSchema(), d.Comments)
+	g.Forum = load("forum", ForumSchema(), d.Forums)
+	if err != nil {
+		return nil, err
+	}
+	if !indexed {
+		return g, nil
+	}
+	index := func(base *indexeddf.DataFrame, col, alias string) *indexeddf.DataFrame {
+		if err != nil {
+			return nil
+		}
+		idf, e := base.CreateIndexOn(col)
+		if e != nil {
+			err = e
+			return nil
+		}
+		// Queries reference columns with the base table's qualifier
+		// ("person.id"), so re-alias the indexed relation accordingly.
+		idf, e = idf.As(alias)
+		if e != nil {
+			err = e
+			return nil
+		}
+		return idf
+	}
+	g.PersonByID = index(g.Person, "id", "person")
+	g.KnowsByP1 = index(g.Knows, "person1Id", "knows")
+	g.PostByID = index(g.Post, "id", "post")
+	g.PostByCreator = index(g.Post, "creatorId", "post")
+	g.CommentByID = index(g.Comment, "id", "comment")
+	g.CommentByCreator = index(g.Comment, "creatorId", "comment")
+	g.CommentByReplyP = index(g.Comment, "replyOfPost", "comment")
+	g.CommentByReplyC = index(g.Comment, "replyOfComment", "comment")
+	g.ForumByID = index(g.Forum, "id", "forum")
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// personFrame returns the access path for person-by-id filters.
+func (g *Graph) personFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.PersonByID
+	}
+	return g.Person
+}
+
+func (g *Graph) knowsFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.KnowsByP1
+	}
+	return g.Knows
+}
+
+func (g *Graph) postByIDFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.PostByID
+	}
+	return g.Post
+}
+
+func (g *Graph) postByCreatorFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.PostByCreator
+	}
+	return g.Post
+}
+
+func (g *Graph) commentByIDFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.CommentByID
+	}
+	return g.Comment
+}
+
+func (g *Graph) commentByCreatorFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.CommentByCreator
+	}
+	return g.Comment
+}
+
+func (g *Graph) forumFrame() *indexeddf.DataFrame {
+	if g.Indexed {
+		return g.ForumByID
+	}
+	return g.Forum
+}
+
+// lookupPost fetches one post row by id, or nil.
+func (g *Graph) lookupPost(id int64) (sqltypes.Row, error) {
+	rows, err := g.postByIDFrame().Filter(indexeddf.Eq(indexeddf.Col("id"), indexeddf.Lit(id))).Collect()
+	if err != nil || len(rows) == 0 {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// lookupComment fetches one comment row by id, or nil.
+func (g *Graph) lookupComment(id int64) (sqltypes.Row, error) {
+	rows, err := g.commentByIDFrame().Filter(indexeddf.Eq(indexeddf.Col("id"), indexeddf.Lit(id))).Collect()
+	if err != nil || len(rows) == 0 {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// lookupMessage resolves an id from either message table; isPost reports
+// which one matched.
+func (g *Graph) lookupMessage(id int64) (row sqltypes.Row, isPost bool, err error) {
+	if id >= CommentIDBase {
+		row, err = g.lookupComment(id)
+		return row, false, err
+	}
+	row, err = g.lookupPost(id)
+	return row, true, err
+}
+
+// rootPost walks a comment's reply chain to its root post — the driver-side
+// loop of indexed lookups IS2/IS6 need (each hop is one point lookup, which
+// is where the index pays off).
+func (g *Graph) rootPost(commentRow sqltypes.Row) (sqltypes.Row, error) {
+	const (
+		colReplyOfPost    = 7
+		colReplyOfComment = 8
+	)
+	cur := commentRow
+	for hop := 0; hop < 64; hop++ {
+		if p := cur[colReplyOfPost]; !p.IsNull() {
+			return g.lookupPost(p.Int64Val())
+		}
+		c := cur[colReplyOfComment]
+		if c.IsNull() {
+			return nil, fmt.Errorf("snb: comment %v has no parent", cur[0])
+		}
+		next, err := g.lookupComment(c.Int64Val())
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return nil, fmt.Errorf("snb: dangling reply chain at %v", c)
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("snb: reply chain too deep")
+}

@@ -1,0 +1,101 @@
+// Package snb provides a scaled-down, deterministic substitute for the LDBC
+// Social Network Benchmark Datagen the paper evaluates on (Erling et al.,
+// SIGMOD 2015), plus the seven SNB "simple read" queries (SQ1–SQ7 in the
+// paper, LDBC interactive short reads IS1–IS7) implemented on the public
+// DataFrame API for both the vanilla and the Indexed DataFrame engine.
+//
+// Substitution note (DESIGN.md §2): the real SF300 dataset needs a cluster
+// and the Hadoop-based Datagen; this generator preserves the schema and the
+// skewed degree distributions the queries exercise at laptop scale.
+package snb
+
+import (
+	"indexeddf/internal/sqltypes"
+)
+
+// ID namespaces keep entity ids disjoint like LDBC's.
+const (
+	PersonIDBase  = int64(0)
+	ForumIDBase   = int64(100_000_000)
+	PostIDBase    = int64(1_000_000_000)
+	CommentIDBase = int64(2_000_000_000)
+)
+
+// PersonSchema mirrors LDBC person.
+func PersonSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "firstName", Type: sqltypes.String},
+		sqltypes.Field{Name: "lastName", Type: sqltypes.String},
+		sqltypes.Field{Name: "gender", Type: sqltypes.String},
+		sqltypes.Field{Name: "birthday", Type: sqltypes.Timestamp},
+		sqltypes.Field{Name: "creationDate", Type: sqltypes.Timestamp},
+		sqltypes.Field{Name: "locationIP", Type: sqltypes.String},
+		sqltypes.Field{Name: "browserUsed", Type: sqltypes.String},
+		sqltypes.Field{Name: "cityId", Type: sqltypes.Int64},
+	)
+}
+
+// KnowsSchema mirrors LDBC person_knows_person.
+func KnowsSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "person1Id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "person2Id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creationDate", Type: sqltypes.Timestamp},
+	)
+}
+
+// PostSchema mirrors LDBC post.
+func PostSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creatorId", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "forumId", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creationDate", Type: sqltypes.Timestamp},
+		sqltypes.Field{Name: "locationIP", Type: sqltypes.String},
+		sqltypes.Field{Name: "browserUsed", Type: sqltypes.String},
+		sqltypes.Field{Name: "language", Type: sqltypes.String},
+		sqltypes.Field{Name: "content", Type: sqltypes.String},
+		sqltypes.Field{Name: "length", Type: sqltypes.Int32},
+	)
+}
+
+// CommentSchema mirrors LDBC comment; exactly one of replyOfPost /
+// replyOfComment is set.
+func CommentSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creatorId", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creationDate", Type: sqltypes.Timestamp},
+		sqltypes.Field{Name: "locationIP", Type: sqltypes.String},
+		sqltypes.Field{Name: "browserUsed", Type: sqltypes.String},
+		sqltypes.Field{Name: "content", Type: sqltypes.String},
+		sqltypes.Field{Name: "length", Type: sqltypes.Int32},
+		sqltypes.Field{Name: "replyOfPost", Type: sqltypes.Int64, Nullable: true},
+		sqltypes.Field{Name: "replyOfComment", Type: sqltypes.Int64, Nullable: true},
+	)
+}
+
+// ForumSchema mirrors LDBC forum.
+func ForumSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "title", Type: sqltypes.String},
+		sqltypes.Field{Name: "moderatorId", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "creationDate", Type: sqltypes.Timestamp},
+	)
+}
+
+// Dataset is one generated social network.
+type Dataset struct {
+	Persons  []sqltypes.Row
+	Knows    []sqltypes.Row
+	Posts    []sqltypes.Row
+	Comments []sqltypes.Row
+	Forums   []sqltypes.Row
+}
+
+// Rows returns the total row count.
+func (d *Dataset) Rows() int {
+	return len(d.Persons) + len(d.Knows) + len(d.Posts) + len(d.Comments) + len(d.Forums)
+}

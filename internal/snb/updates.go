@@ -1,0 +1,156 @@
+package snb
+
+import (
+	"math/rand"
+
+	"indexeddf"
+	"indexeddf/internal/sqltypes"
+)
+
+// UpdateKind classifies update-stream events, mirroring the SNB interactive
+// insert workload the paper's demo feeds through Kafka.
+type UpdateKind uint8
+
+// Update kinds.
+const (
+	AddKnows UpdateKind = iota
+	AddPost
+	AddComment
+)
+
+// Update is one insert event.
+type Update struct {
+	Kind UpdateKind
+	Row  sqltypes.Row
+}
+
+// UpdateStream deterministically generates insert events against an
+// existing dataset: new knows edges, posts and comments from existing
+// persons, with monotonically increasing timestamps (like the SNB update
+// stream).
+type UpdateStream struct {
+	rng      *rand.Rand
+	nPersons int
+	nextPost int64
+	nextComm int64
+	nForums  int
+	now      int64
+}
+
+// NewUpdateStream builds a stream continuing after d.
+func NewUpdateStream(d *Dataset, seed int64) *UpdateStream {
+	return &UpdateStream{
+		rng:      rand.New(rand.NewSource(seed)),
+		nPersons: len(d.Persons),
+		nextPost: PostIDBase + int64(len(d.Posts)) + 1,
+		nextComm: CommentIDBase + int64(len(d.Comments)) + 1,
+		nForums:  len(d.Forums),
+		now:      epoch2018 + yearMicros,
+	}
+}
+
+// Next produces the next insert event.
+func (u *UpdateStream) Next() Update {
+	u.now += int64(u.rng.Intn(1_000_000) + 1)
+	person := func() int64 { return PersonIDBase + int64(u.rng.Intn(u.nPersons)+1) }
+	switch u.rng.Intn(10) {
+	case 0, 1, 2: // 30% new knows edge
+		return Update{Kind: AddKnows, Row: sqltypes.Row{
+			sqltypes.NewInt64(person()),
+			sqltypes.NewInt64(person()),
+			sqltypes.NewTimestamp(u.now),
+		}}
+	case 3, 4, 5: // 30% new post
+		id := u.nextPost
+		u.nextPost++
+		content := randomContent(u.rng, 3+u.rng.Intn(20))
+		return Update{Kind: AddPost, Row: sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewInt64(person()),
+			sqltypes.NewInt64(ForumIDBase + int64(u.rng.Intn(u.nForums)+1)),
+			sqltypes.NewTimestamp(u.now),
+			sqltypes.NewString(randomIP(u.rng)),
+			sqltypes.NewString(browsers[u.rng.Intn(len(browsers))]),
+			sqltypes.NewString(languages[u.rng.Intn(len(languages))]),
+			sqltypes.NewString(content),
+			sqltypes.NewInt32(int32(len(content))),
+		}}
+	default: // 40% new comment replying to a recent post
+		id := u.nextComm
+		u.nextComm++
+		content := randomContent(u.rng, 2+u.rng.Intn(12))
+		target := PostIDBase + 1 + u.rng.Int63n(u.nextPost-PostIDBase-1)
+		return Update{Kind: AddComment, Row: sqltypes.Row{
+			sqltypes.NewInt64(id),
+			sqltypes.NewInt64(person()),
+			sqltypes.NewTimestamp(u.now),
+			sqltypes.NewString(randomIP(u.rng)),
+			sqltypes.NewString(browsers[u.rng.Intn(len(browsers))]),
+			sqltypes.NewString(content),
+			sqltypes.NewInt32(int32(len(content))),
+			sqltypes.NewInt64(target),
+			sqltypes.Null,
+		}}
+	}
+}
+
+// Batch produces n events.
+func (u *UpdateStream) Batch(n int) []Update {
+	out := make([]Update, n)
+	for i := range out {
+		out[i] = u.Next()
+	}
+	return out
+}
+
+// Apply routes an update batch into the graph (both the vanilla tables and,
+// when present, every indexed copy — each is an independent Indexed
+// DataFrame per the paper's one-index-per-frame model).
+func Apply(g *Graph, updates []Update) error {
+	var knows, posts, comments []sqltypes.Row
+	for _, u := range updates {
+		switch u.Kind {
+		case AddKnows:
+			knows = append(knows, u.Row)
+		case AddPost:
+			posts = append(posts, u.Row)
+		case AddComment:
+			comments = append(comments, u.Row)
+		}
+	}
+	if len(knows) > 0 {
+		if _, err := g.Knows.AppendRowsSlice(knows); err != nil {
+			return err
+		}
+		if g.Indexed {
+			if _, err := g.KnowsByP1.AppendRowsSlice(knows); err != nil {
+				return err
+			}
+		}
+	}
+	if len(posts) > 0 {
+		if _, err := g.Post.AppendRowsSlice(posts); err != nil {
+			return err
+		}
+		if g.Indexed {
+			for _, f := range []*indexeddf.DataFrame{g.PostByID, g.PostByCreator} {
+				if _, err := f.AppendRowsSlice(posts); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(comments) > 0 {
+		if _, err := g.Comment.AppendRowsSlice(comments); err != nil {
+			return err
+		}
+		if g.Indexed {
+			for _, f := range []*indexeddf.DataFrame{g.CommentByID, g.CommentByCreator, g.CommentByReplyP, g.CommentByReplyC} {
+				if _, err := f.AppendRowsSlice(comments); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package sqlparser
+
+import (
+	"fmt"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/plan"
+)
+
+// buildPlan assembles the operator tree for one SELECT:
+// FROM/JOIN -> WHERE -> AGGREGATE(+HAVING) -> PROJECT -> DISTINCT ->
+// ORDER BY -> LIMIT.
+func (p *parser) buildPlan(from plan.Node, items []selectItem, distinct bool,
+	where expr.Expr, groups []expr.Expr, having expr.Expr,
+	orderFn func() ([]plan.SortOrder, error), limit int64) (plan.Node, error) {
+
+	node := from
+	if where != nil {
+		node = plan.NewFilter(where, node)
+	}
+
+	// Collect aggregates from select items and HAVING.
+	var aggs []expr.Agg
+	aggNames := map[string]string{} // placeholder string -> output column name
+	collect := func(e expr.Expr) {
+		expr.Walk(e, func(n expr.Expr) bool {
+			if ph, ok := n.(*aggPlaceholder); ok {
+				key := ph.String()
+				if _, seen := aggNames[key]; !seen {
+					name := fmt.Sprintf("agg_%d", len(aggs))
+					aggNames[key] = name
+					aggs = append(aggs, expr.Agg{Func: ph.fn, Arg: ph.arg, Name: name})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		if !it.star {
+			collect(it.e)
+		}
+	}
+	if having != nil {
+		collect(having)
+	}
+
+	hasAgg := len(aggs) > 0 || len(groups) > 0
+	if hasAgg {
+		for _, it := range items {
+			if it.star {
+				return nil, fmt.Errorf("sqlparser: SELECT * cannot be combined with GROUP BY or aggregates")
+			}
+		}
+		node = plan.NewAggregate(groups, aggs, node)
+		// After aggregation, expressions refer to the aggregate's outputs:
+		// group expressions by their text, aggregates by generated names.
+		rewrite := func(e expr.Expr) (expr.Expr, error) {
+			return expr.Transform(e, func(n expr.Expr) (expr.Expr, error) {
+				if ph, ok := n.(*aggPlaceholder); ok {
+					return expr.C(aggNames[ph.String()]), nil
+				}
+				for gi, g := range groups {
+					if n.String() == g.String() {
+						return expr.C(plan.OutputName(g, gi)), nil
+					}
+				}
+				return n, nil
+			})
+		}
+		if having != nil {
+			h, err := rewrite(having)
+			if err != nil {
+				return nil, err
+			}
+			node = plan.NewFilter(h, node)
+		}
+		projExprs := make([]expr.Expr, len(items))
+		for i, it := range items {
+			e, err := rewrite(it.e)
+			if err != nil {
+				return nil, err
+			}
+			if it.alias != "" {
+				e = expr.As(e, it.alias)
+			}
+			projExprs[i] = e
+		}
+		node = plan.NewProject(projExprs, node)
+	} else {
+		// Plain projection; `SELECT *` keeps the child as-is when it is
+		// the only item.
+		if len(items) == 1 && items[0].star {
+			// no projection node needed
+		} else {
+			var projExprs []expr.Expr
+			for _, it := range items {
+				if it.star {
+					return nil, fmt.Errorf("sqlparser: mixed * and expressions in SELECT")
+				}
+				e := it.e
+				if it.alias != "" {
+					e = expr.As(e, it.alias)
+				}
+				projExprs = append(projExprs, e)
+			}
+			node = plan.NewProject(projExprs, node)
+		}
+	}
+
+	if distinct {
+		node = distinctOver(node, items)
+	}
+
+	orders, err := orderFn()
+	if err != nil {
+		return nil, err
+	}
+	if len(orders) > 0 {
+		node = plan.NewSort(orders, node)
+	}
+	if limit >= 0 {
+		node = plan.NewLimit(limit, node)
+	}
+	return node, nil
+}
+
+// distinctOver wraps node in a group-by-all-columns aggregate. Output
+// column references come from the select list when available.
+func distinctOver(node plan.Node, items []selectItem) plan.Node {
+	var groups []expr.Expr
+	for i, it := range items {
+		if it.star {
+			return node // DISTINCT * over unknown arity: leave as-is
+		}
+		name := it.alias
+		if name == "" {
+			name = plan.OutputName(it.e, i)
+		}
+		groups = append(groups, expr.C(name))
+	}
+	return plan.NewAggregate(groups, nil, node)
+}

@@ -1,0 +1,131 @@
+// Package sqlparser implements the SQL front end: a hand-written lexer and
+// recursive-descent parser for the subset the engine executes
+// (SELECT ... FROM ... [JOIN ... ON ...] [WHERE] [GROUP BY] [HAVING]
+// [ORDER BY] [LIMIT], UNION ALL), producing logical plans.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "IS": true, "ASC": true,
+	"DESC": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "DISTINCT": true, "UNION": true, "ALL": true, "TRUE": true,
+	"FALSE": true, "CAST": true, "CROSS": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tkKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tkIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			out = append(out, token{kind: tkNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparser: unterminated string at %d", i)
+			}
+			out = append(out, token{kind: tkString, text: sb.String(), pos: i})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				out = append(out, token{kind: tkSymbol, text: two, pos: i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '%', '.':
+				out = append(out, token{kind: tkSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	out = append(out, token{kind: tkEOF, pos: n})
+	return out, nil
+}

@@ -1,0 +1,156 @@
+// Package storage implements the block manager backing the engine's cache:
+// memory-accounted storage of materialized partitions with LRU eviction,
+// the single-process analogue of Spark's BlockManager / RDD cache the paper
+// integrates with.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BlockID names a cached partition.
+type BlockID struct {
+	// Owner identifies the dataset (RDD or table id).
+	Owner int
+	// Partition is the partition ordinal.
+	Partition int
+}
+
+// String renders the id as "block(owner:partition)".
+func (id BlockID) String() string { return fmt.Sprintf("block(%d:%d)", id.Owner, id.Partition) }
+
+type entry struct {
+	id    BlockID
+	value any
+	size  int64
+	elem  *list.Element
+}
+
+// Manager is a thread-safe block store with a byte capacity and LRU
+// eviction.
+type Manager struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	blocks   map[BlockID]*entry
+	lru      *list.List // front = most recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewManager returns a Manager with the given capacity in bytes.
+// A capacity <= 0 means unbounded.
+func NewManager(capacity int64) *Manager {
+	return &Manager{
+		capacity: capacity,
+		blocks:   make(map[BlockID]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Put stores a block of the given size, evicting least-recently-used
+// blocks as needed. It reports whether the block was stored (a block
+// larger than the whole capacity is rejected).
+func (m *Manager) Put(id BlockID, value any, size int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.capacity > 0 && size > m.capacity {
+		return false
+	}
+	if old, ok := m.blocks[id]; ok {
+		m.used -= old.size
+		m.lru.Remove(old.elem)
+		delete(m.blocks, id)
+	}
+	for m.capacity > 0 && m.used+size > m.capacity {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		m.lru.Remove(back)
+		delete(m.blocks, victim.id)
+		m.used -= victim.size
+		m.evictions++
+	}
+	e := &entry{id: id, value: value, size: size}
+	e.elem = m.lru.PushFront(e)
+	m.blocks[id] = e
+	m.used += size
+	return true
+}
+
+// Get returns the cached block and marks it recently used.
+func (m *Manager) Get(id BlockID) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blocks[id]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.lru.MoveToFront(e.elem)
+	return e.value, true
+}
+
+// Remove drops a block if present.
+func (m *Manager) Remove(id BlockID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.blocks[id]; ok {
+		m.lru.Remove(e.elem)
+		delete(m.blocks, id)
+		m.used -= e.size
+	}
+}
+
+// RemoveOwner drops all blocks belonging to an owner (uncache of a table).
+func (m *Manager) RemoveOwner(owner int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, e := range m.blocks {
+		if id.Owner == owner {
+			m.lru.Remove(e.elem)
+			delete(m.blocks, id)
+			m.used -= e.size
+		}
+	}
+}
+
+// Clear drops everything.
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blocks = make(map[BlockID]*entry)
+	m.lru.Init()
+	m.used = 0
+}
+
+// Stats reports cache counters.
+type Stats struct {
+	Used      int64
+	Capacity  int64
+	Blocks    int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Used:      m.used,
+		Capacity:  m.capacity,
+		Blocks:    len(m.blocks),
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+	}
+}

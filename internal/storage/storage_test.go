@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func id(o, p int) BlockID { return BlockID{Owner: o, Partition: p} }
+
+func TestPutGet(t *testing.T) {
+	m := NewManager(0)
+	if !m.Put(id(1, 0), "a", 10) {
+		t.Fatal("Put failed")
+	}
+	v, ok := m.Get(id(1, 0))
+	if !ok || v.(string) != "a" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := m.Get(id(1, 1)); ok {
+		t.Fatal("Get of missing block succeeded")
+	}
+	st := m.Stats()
+	if st.Used != 10 || st.Blocks != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutReplacesAndAccounts(t *testing.T) {
+	m := NewManager(0)
+	m.Put(id(1, 0), "a", 10)
+	m.Put(id(1, 0), "b", 30)
+	if st := m.Stats(); st.Used != 30 || st.Blocks != 1 {
+		t.Fatalf("stats after replace = %+v", st)
+	}
+	v, _ := m.Get(id(1, 0))
+	if v.(string) != "b" {
+		t.Fatal("replace did not take")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := NewManager(100)
+	for i := 0; i < 10; i++ {
+		m.Put(id(1, i), i, 10)
+	}
+	// Touch block 0 so it is most recently used.
+	m.Get(id(1, 0))
+	// Adding one more must evict block 1 (the least recently used).
+	m.Put(id(2, 0), "new", 10)
+	if _, ok := m.Get(id(1, 1)); ok {
+		t.Fatal("LRU block not evicted")
+	}
+	if _, ok := m.Get(id(1, 0)); !ok {
+		t.Fatal("recently used block evicted")
+	}
+	if st := m.Stats(); st.Evictions != 1 || st.Used > 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOversizedBlockRejected(t *testing.T) {
+	m := NewManager(50)
+	if m.Put(id(1, 0), "big", 51) {
+		t.Fatal("oversized block accepted")
+	}
+	if m.Put(id(1, 1), "fits", 50) != true {
+		t.Fatal("exact-fit block rejected")
+	}
+}
+
+func TestRemoveAndRemoveOwner(t *testing.T) {
+	m := NewManager(0)
+	for p := 0; p < 4; p++ {
+		m.Put(id(7, p), p, 5)
+	}
+	m.Put(id(8, 0), "other", 5)
+	m.Remove(id(7, 0))
+	if _, ok := m.Get(id(7, 0)); ok {
+		t.Fatal("removed block still present")
+	}
+	m.RemoveOwner(7)
+	for p := 1; p < 4; p++ {
+		if _, ok := m.Get(id(7, p)); ok {
+			t.Fatalf("owner block %d survived RemoveOwner", p)
+		}
+	}
+	if _, ok := m.Get(id(8, 0)); !ok {
+		t.Fatal("unrelated owner removed")
+	}
+	m.Clear()
+	if st := m.Stats(); st.Blocks != 0 || st.Used != 0 {
+		t.Fatalf("stats after clear = %+v", st)
+	}
+}
+
+func TestBlockIDString(t *testing.T) {
+	if got := id(3, 9).String(); got != "block(3:9)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := NewManager(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				bid := id(g, i%50)
+				m.Put(bid, fmt.Sprintf("%d-%d", g, i), 16)
+				if v, ok := m.Get(bid); ok {
+					_ = v
+				}
+				if i%97 == 0 {
+					m.Remove(bid)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

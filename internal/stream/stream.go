@@ -1,0 +1,166 @@
+// Package stream implements a Kafka-like partitioned, append-only message
+// log with consumer groups and offsets — the substitute for the Apache
+// Kafka engine the paper's demo uses to deliver the constant update stream
+// mutating the graph (DESIGN.md §2).
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// Message is one log record: a key (routes the partition) and a row
+// payload.
+type Message struct {
+	Key       sqltypes.Value
+	Row       sqltypes.Row
+	Offset    int64
+	Partition int
+}
+
+// Topic is a partitioned append-only log. Producers append; consumer
+// groups poll with tracked offsets. Safe for concurrent use.
+type Topic struct {
+	name  string
+	parts []*logPartition
+
+	mu     sync.Mutex
+	groups map[string][]int64 // group -> next offset per partition
+}
+
+type logPartition struct {
+	mu   sync.RWMutex
+	msgs []Message
+}
+
+// NewTopic creates a topic with n partitions.
+func NewTopic(name string, n int) *Topic {
+	if n <= 0 {
+		n = 1
+	}
+	t := &Topic{name: name, parts: make([]*logPartition, n), groups: map[string][]int64{}}
+	for i := range t.parts {
+		t.parts[i] = &logPartition{}
+	}
+	return t
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// NumPartitions returns the partition count.
+func (t *Topic) NumPartitions() int { return len(t.parts) }
+
+// Produce appends a message, routed by the key's hash (round-robin via a
+// zero key is fine). It returns the assigned partition and offset.
+func (t *Topic) Produce(key sqltypes.Value, row sqltypes.Row) (partition int, offset int64) {
+	partition = int(key.Hash64() % uint64(len(t.parts)))
+	p := t.parts[partition]
+	p.mu.Lock()
+	offset = int64(len(p.msgs))
+	p.msgs = append(p.msgs, Message{Key: key, Row: row, Offset: offset, Partition: partition})
+	p.mu.Unlock()
+	return partition, offset
+}
+
+// Len returns the total number of messages across partitions.
+func (t *Topic) Len() int64 {
+	var n int64
+	for _, p := range t.parts {
+		p.mu.RLock()
+		n += int64(len(p.msgs))
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// Poll fetches up to max messages for a consumer group, advancing its
+// offsets (at-most-once within this process; offsets are per group).
+func (t *Topic) Poll(group string, max int) []Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	offsets, ok := t.groups[group]
+	if !ok {
+		offsets = make([]int64, len(t.parts))
+		t.groups[group] = offsets
+	}
+	var out []Message
+	for pi, p := range t.parts {
+		if len(out) >= max {
+			break
+		}
+		p.mu.RLock()
+		for offsets[pi] < int64(len(p.msgs)) && len(out) < max {
+			out = append(out, p.msgs[offsets[pi]])
+			offsets[pi]++
+		}
+		p.mu.RUnlock()
+	}
+	return out
+}
+
+// Lag returns how many messages the group has not yet consumed.
+func (t *Topic) Lag(group string) int64 {
+	t.mu.Lock()
+	offsets := t.groups[group]
+	t.mu.Unlock()
+	var lag int64
+	for pi, p := range t.parts {
+		p.mu.RLock()
+		n := int64(len(p.msgs))
+		p.mu.RUnlock()
+		if offsets == nil {
+			lag += n
+			continue
+		}
+		lag += n - offsets[pi]
+	}
+	return lag
+}
+
+// Seek resets a group's offsets to the beginning (replay) or the end
+// (skip history).
+func (t *Topic) Seek(group string, toEnd bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	offsets := make([]int64, len(t.parts))
+	if toEnd {
+		for pi, p := range t.parts {
+			p.mu.RLock()
+			offsets[pi] = int64(len(p.msgs))
+			p.mu.RUnlock()
+		}
+	}
+	t.groups[group] = offsets
+}
+
+// Broker is a registry of topics (the "cluster").
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*Topic
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker { return &Broker{topics: map[string]*Topic{}} }
+
+// CreateTopic registers a topic; it fails if the name is taken.
+func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.topics[name]; exists {
+		return nil, fmt.Errorf("stream: topic %q already exists", name)
+	}
+	t := NewTopic(name, partitions)
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic looks up a topic.
+func (b *Broker) Topic(name string) (*Topic, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	return t, ok
+}

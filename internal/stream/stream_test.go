@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"indexeddf/internal/sqltypes"
+)
+
+func msg(i int64) (sqltypes.Value, sqltypes.Row) {
+	return sqltypes.NewInt64(i), sqltypes.Row{sqltypes.NewInt64(i)}
+}
+
+func TestProducePoll(t *testing.T) {
+	top := NewTopic("updates", 3)
+	for i := int64(0); i < 100; i++ {
+		top.Produce(msg(i))
+	}
+	if top.Len() != 100 {
+		t.Fatalf("Len = %d", top.Len())
+	}
+	got := map[int64]bool{}
+	for {
+		batch := top.Poll("g1", 7)
+		if len(batch) == 0 {
+			break
+		}
+		for _, m := range batch {
+			if got[m.Row[0].Int64Val()] {
+				t.Fatalf("message %v delivered twice", m.Row)
+			}
+			got[m.Row[0].Int64Val()] = true
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("consumed %d messages", len(got))
+	}
+	if top.Lag("g1") != 0 {
+		t.Fatalf("lag = %d", top.Lag("g1"))
+	}
+}
+
+func TestIndependentConsumerGroups(t *testing.T) {
+	top := NewTopic("t", 2)
+	for i := int64(0); i < 10; i++ {
+		top.Produce(msg(i))
+	}
+	a := top.Poll("a", 100)
+	b := top.Poll("b", 100)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("groups saw %d and %d", len(a), len(b))
+	}
+	if got := top.Poll("a", 100); len(got) != 0 {
+		t.Fatalf("group a re-read %d", len(got))
+	}
+}
+
+func TestPartitionRoutingByKey(t *testing.T) {
+	top := NewTopic("t", 4)
+	p1, _ := top.Produce(msg(42))
+	p2, _ := top.Produce(msg(42))
+	if p1 != p2 {
+		t.Fatal("same key routed to different partitions")
+	}
+	// Offsets are per partition and monotonic.
+	_, o1 := top.Produce(msg(42))
+	_, o2 := top.Produce(msg(42))
+	if o2 != o1+1 {
+		t.Fatalf("offsets %d then %d", o1, o2)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	top := NewTopic("t", 1)
+	for i := int64(0); i < 5; i++ {
+		top.Produce(msg(i))
+	}
+	top.Poll("g", 100)
+	top.Seek("g", false)
+	if got := top.Poll("g", 100); len(got) != 5 {
+		t.Fatalf("replay saw %d", len(got))
+	}
+	top.Seek("g", true)
+	if got := top.Poll("g", 100); len(got) != 0 {
+		t.Fatalf("seek-to-end saw %d", len(got))
+	}
+	if top.Lag("unknown") != 5 {
+		t.Fatalf("lag for fresh group = %d", top.Lag("unknown"))
+	}
+}
+
+func TestBroker(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.CreateTopic("u", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic("u", 2); err == nil {
+		t.Fatal("duplicate topic accepted")
+	}
+	if _, ok := b.Topic("u"); !ok {
+		t.Fatal("topic not found")
+	}
+	if _, ok := b.Topic("v"); ok {
+		t.Fatal("phantom topic")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	top := NewTopic("t", 4)
+	var wg sync.WaitGroup
+	const producers = 4
+	const each = 500
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				top.Produce(msg(int64(p*each + i)))
+			}
+		}(p)
+	}
+	seen := make(chan int, 64)
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		total := 0
+		for total < producers*each {
+			batch := top.Poll("g", 64)
+			total += len(batch)
+		}
+		seen <- total
+	}()
+	wg.Wait()
+	cwg.Wait()
+	if got := <-seen; got != producers*each {
+		t.Fatalf("consumed %d", got)
+	}
+}

@@ -1,0 +1,111 @@
+package indexeddf
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// WriteCSV executes the DataFrame and writes its rows as CSV with a header
+// row of short column names. NULLs render as empty cells.
+func (df *DataFrame) WriteCSV(w io.Writer) error {
+	schema, err := df.Schema()
+	if err != nil {
+		return err
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(schema.ShortNames()); err != nil {
+		return err
+	}
+	rec := make([]string, schema.Len())
+	for _, r := range rows {
+		for i, v := range r {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func (df *DataFrame) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := df.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses CSV (header expected) into rows matching schema, casting
+// each cell to the column type. Empty cells become NULL for nullable
+// columns.
+func ReadCSV(r io.Reader, schema *sqltypes.Schema) ([]sqltypes.Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("indexeddf: reading CSV header: %w", err)
+	}
+	_ = header
+	var rows []sqltypes.Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("indexeddf: CSV line %d: %w", line, err)
+		}
+		row := make(sqltypes.Row, schema.Len())
+		for i, cell := range rec {
+			f := schema.Field(i)
+			if cell == "" && f.Nullable {
+				row[i] = sqltypes.Null
+				continue
+			}
+			v, err := sqltypes.NewString(cell).Cast(f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("indexeddf: CSV line %d column %q: %w", line, f.Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+}
+
+// ReadCSVFile is ReadCSV from a file path.
+func ReadCSVFile(path string, schema *sqltypes.Schema) ([]sqltypes.Row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, schema)
+}
+
+// CreateTableFromCSV reads a CSV file and registers it as a table.
+func (s *Session) CreateTableFromCSV(name, path string, schema *sqltypes.Schema) (*DataFrame, error) {
+	rows, err := ReadCSVFile(path, schema)
+	if err != nil {
+		return nil, err
+	}
+	return s.CreateTable(name, schema, rows)
+}

@@ -1,0 +1,70 @@
+package indexeddf
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, person, _ := newTestSession(t)
+	var buf bytes.Buffer
+	if err := person.OrderBy("id").WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "id,name,city,age\n") {
+		t.Fatalf("header: %q", out[:40])
+	}
+	rows, err := ReadCSV(strings.NewReader(out), personSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[5][0] != V(int64(5)) || rows[5][1] != V("p05") {
+		t.Fatalf("row 5 = %v", rows[5])
+	}
+	// Round-trip through a file and back into a table.
+	path := filepath.Join(t.TempDir(), "person.csv")
+	if err := person.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	df, err := s.CreateTableFromCSV("person2", path, personSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := df.Count()
+	if err != nil || n != 100 {
+		t.Fatalf("reloaded count = %d, %v", n, err)
+	}
+}
+
+func TestCSVNulls(t *testing.T) {
+	schema := NewSchema(
+		Field{Name: "a", Type: Int64},
+		Field{Name: "b", Type: String, Nullable: true},
+	)
+	rows, err := ReadCSV(strings.NewReader("a,b\n1,\n2,x\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0][1].IsNull() || rows[1][1].StringVal() != "x" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	schema := NewSchema(Field{Name: "a", Type: Int64})
+	if _, err := ReadCSV(strings.NewReader(""), schema); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\nnotanumber\n"), schema); err == nil {
+		t.Error("bad cell accepted")
+	}
+	if _, err := ReadCSVFile("/does/not/exist.csv", schema); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package indexeddf
+
+import (
+	"fmt"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/sqlparser"
+)
+
+// SQL compiles a SQL query against the session catalog and returns a lazy
+// DataFrame. Supported subset: SELECT [DISTINCT] exprs FROM t [AS a]
+// [INNER|LEFT [OUTER]|CROSS JOIN t2 ON cond]... [WHERE cond]
+// [GROUP BY exprs] [HAVING cond] [ORDER BY exprs [ASC|DESC]] [LIMIT n]
+// and UNION ALL chains; scalar functions UPPER/LOWER/LENGTH/ABS/CONCAT/
+// SUBSTR/YEAR/COALESCE, LIKE, BETWEEN, IN lists, IS [NOT] NULL, CAST;
+// aggregates COUNT(*)/COUNT/SUM/MIN/MAX/AVG.
+//
+// Queries over Indexed DataFrame tables go through the same index-aware
+// optimizer rules as the DataFrame API: equality predicates and equi-joins
+// on indexed columns execute as index lookups and indexed joins.
+func (s *Session) SQL(query string) (*DataFrame, error) {
+	node, err := sqlparser.Parse(query, func(name string) (catalog.Table, error) {
+		t, ok := s.LookupTable(name)
+		if !ok {
+			return nil, fmt.Errorf("indexeddf: table %q not found", name)
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.frame(node), nil
+}
+
+// MustSQL is SQL, panicking on parse errors (examples and tests).
+func (s *Session) MustSQL(query string) *DataFrame {
+	df, err := s.SQL(query)
+	if err != nil {
+		panic(err)
+	}
+	return df
+}
