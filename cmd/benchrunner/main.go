@@ -6,16 +6,21 @@
 //	benchrunner -fig mem      §2 memory-overhead claim
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
-// Flags -sf, -seed and -iters scale the run. Absolute times depend on this
-// machine; the shapes (who wins, by what factor) are what reproduce the
-// paper.
+// Flags -sf, -seed and -iters scale the run; -rowengine forces
+// row-at-a-time execution (the vectorized engine is the default), letting
+// two runs compare the engines process-to-process; -json writes the
+// measurements as machine-readable BENCH_*.json so successive PRs can
+// track the performance trajectory. Absolute times depend on this machine;
+// the shapes (who wins, by what factor) are what reproduce the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -28,40 +33,135 @@ func main() {
 	sf := flag.Float64("sf", 1.0, "SNB scale factor (1.0 ~ 1k persons)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	iters := flag.Int("iters", 5, "timed iterations per operator")
+	rowEngine := flag.Bool("rowengine", false, "disable the vectorized engine (row-at-a-time execution)")
+	jsonPath := flag.String("json", "", "write measurements as JSON (e.g. BENCH_results.json)")
 	flag.Parse()
 
-	if err := run(*fig, *sf, *seed, *iters); err != nil {
+	if err := run(*fig, *sf, *seed, *iters, *rowEngine, *jsonPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(fig string, sf float64, seed int64, iters int) error {
+// report is the machine-readable output written by -json.
+type report struct {
+	Figure    string              `json:"figure"`
+	ScaleF    float64             `json:"scale_factor"`
+	Seed      int64               `json:"seed"`
+	Iters     int                 `json:"iters"`
+	RowEngine bool                `json:"row_engine"`
+	GoVersion string              `json:"go_version"`
+	Timestamp string              `json:"timestamp"`
+	Results   []measurementJSON   `json:"results,omitempty"`
+	Memory    *bench.MemoryReport `json:"memory,omitempty"`
+}
+
+type measurementJSON struct {
+	Name        string  `json:"name"`
+	IndexedNs   int64   `json:"indexed_ns"`
+	VanillaNs   int64   `json:"vanilla_ns"`
+	Speedup     float64 `json:"speedup"`
+	IndexedRows int     `json:"rows"`
+}
+
+func toJSON(ms []bench.Measurement) []measurementJSON {
+	out := make([]measurementJSON, len(ms))
+	for i, m := range ms {
+		out[i] = measurementJSON{Name: m.Name, IndexedNs: int64(m.IndexedTime),
+			VanillaNs: int64(m.VanillaTime), Speedup: m.Speedup(), IndexedRows: m.IndexedRows}
+	}
+	return out
+}
+
+func writeJSON(path string, r report) error {
+	r.GoVersion = runtime.Version()
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// jsonName derives a per-figure file name from the -json flag: with
+// -json BENCH.json, figure 2 lands in BENCH_fig2.json and so on; a single
+// figure run keeps the name as given.
+func jsonName(base, fig string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := ".json"
+	stem := strings.TrimSuffix(base, ext)
+	return fmt.Sprintf("%s_fig%s%s", stem, fig, ext)
+}
+
+func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath string) error {
+	engine := "vectorized"
+	if rowEngine {
+		engine = "row-at-a-time"
+	}
+	fmt.Printf("engine: %s\n", engine)
+	base := report{ScaleF: sf, Seed: seed, Iters: iters, RowEngine: rowEngine}
+	emit := func(figName string, ms []bench.Measurement, mem *bench.MemoryReport, multi bool) error {
+		if jsonPath == "" {
+			return nil
+		}
+		r := base
+		r.Figure = figName
+		r.Results = toJSON(ms)
+		r.Memory = mem
+		return writeJSON(jsonName(jsonPath, figName, multi), r)
+	}
 	var all []bench.Measurement
 	switch fig {
 	case "2":
-		ms, err := figure2(sf, seed, iters)
+		ms, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
+			return err
+		}
+		if err := emit("2", ms, nil, false); err != nil {
 			return err
 		}
 		all = ms
 	case "3":
-		ms, err := figure3(sf, seed, iters)
+		ms, err := figure3(sf, seed, iters, rowEngine)
 		if err != nil {
+			return err
+		}
+		if err := emit("3", ms, nil, false); err != nil {
 			return err
 		}
 		all = ms
 	case "mem":
-		return memory(sf, seed)
+		r, err := memory(sf, seed, rowEngine)
+		if err != nil {
+			return err
+		}
+		return emit("mem", nil, r, false)
 	case "all":
-		m2, err := figure2(sf, seed, iters)
+		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
 			return err
 		}
-		m3, err := figure3(sf, seed, iters)
+		if err := emit("2", m2, nil, true); err != nil {
+			return err
+		}
+		m3, err := figure3(sf, seed, iters, rowEngine)
 		if err != nil {
 			return err
 		}
-		if err := memory(sf, seed); err != nil {
+		if err := emit("3", m3, nil, true); err != nil {
+			return err
+		}
+		mr, err := memory(sf, seed, rowEngine)
+		if err != nil {
+			return err
+		}
+		if err := emit("mem", nil, mr, true); err != nil {
 			return err
 		}
 		all = append(m2, m3...)
@@ -81,9 +181,10 @@ func run(fig string, sf float64, seed int64, iters int) error {
 	return nil
 }
 
-func figure2(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
+func figure2(sf float64, seed int64, iters int, rowEngine bool) ([]bench.Measurement, error) {
 	fmt.Printf("== Figure 2: SQL operators on person_knows_person (sf=%.2f, cluster regime: no broadcast) ==\n", sf)
-	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed, BroadcastThreshold: 1})
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed, BroadcastThreshold: 1,
+		DisableVectorized: rowEngine})
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +196,9 @@ func figure2(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
 	return ms, nil
 }
 
-func figure3(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
+func figure3(sf float64, seed int64, iters int, rowEngine bool) ([]bench.Measurement, error) {
 	fmt.Printf("\n== Figure 3: SNB simple read queries SQ1-SQ7 (sf=%.2f, %d params each) ==\n", sf, 8)
-	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed})
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed, DisableVectorized: rowEngine})
 	if err != nil {
 		return nil, err
 	}
@@ -109,11 +210,11 @@ func figure3(sf float64, seed int64, iters int) ([]bench.Measurement, error) {
 	return ms, nil
 }
 
-func memory(sf float64, seed int64) error {
+func memory(sf float64, seed int64, rowEngine bool) (*bench.MemoryReport, error) {
 	fmt.Printf("\n== §2 claim: memory overhead of the Indexed DataFrame (knows table, sf=%.2f) ==\n", sf)
-	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed})
+	e, err := bench.NewEnv(bench.EnvConfig{ScaleFactor: sf, Seed: seed, DisableVectorized: rowEngine})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r := bench.Memory(e)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -122,7 +223,10 @@ func memory(sf float64, seed int64) error {
 	fmt.Fprintf(w, "indexed ctrie estimate\t%d bytes\n", r.IndexBytes)
 	fmt.Fprintf(w, "indexed reserved batches\t%d bytes\n", r.BatchBytes)
 	fmt.Fprintf(w, "overhead ratio (data+index)/columnar\t%.2fx\n", r.OverheadPerCopy)
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 func printTable(ms []bench.Measurement) {

@@ -128,6 +128,9 @@ func Mul(l, r Expr) Expr { return expr.NewArith(expr.Mul, l, r) }
 // Div builds l / r.
 func Div(l, r Expr) Expr { return expr.NewArith(expr.Div, l, r) }
 
+// Mod builds l % r.
+func Mod(l, r Expr) Expr { return expr.NewArith(expr.Mod, l, r) }
+
 // Fn calls a scalar function (UPPER, LOWER, LENGTH, ABS, CONCAT, SUBSTR,
 // YEAR, COALESCE).
 func Fn(name string, args ...Expr) Expr { return expr.NewFunc(name, args...) }

@@ -1,0 +1,3 @@
+module indexeddf
+
+go 1.22

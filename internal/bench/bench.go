@@ -34,6 +34,9 @@ type EnvConfig struct {
 	BroadcastThreshold int64
 	// TablePartitions sets partition counts (default 4).
 	TablePartitions int
+	// DisableVectorized forces both engines onto the row-at-a-time path
+	// (the BenchmarkVectorized* families compare against it).
+	DisableVectorized bool
 }
 
 // NewEnv generates the dataset once and loads it into both engines.
@@ -46,6 +49,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		sess := indexeddf.NewSession(indexeddf.Config{
 			BroadcastThreshold: cfg.BroadcastThreshold,
 			TablePartitions:    cfg.TablePartitions,
+			DisableVectorized:  cfg.DisableVectorized,
 		})
 		return snb.Load(sess, d, indexed)
 	}

@@ -95,6 +95,131 @@ func (v *Vector) Get(i int) sqltypes.Value {
 	return sqltypes.Null
 }
 
+// ---------------------------------------------------------------------------
+// Raw access and reuse — the vectorized execution engine's view of a vector.
+// These expose the typed payload slices directly so expression kernels can
+// run tight loops without per-value boxing.
+
+// Int64s returns the integer-family payload slice (Bool / Int32 / Int64 /
+// Timestamp vectors). Entries at null positions are zero.
+func (v *Vector) Int64s() []int64 { return v.i64 }
+
+// Float64s returns the Float64 payload slice.
+func (v *Vector) Float64s() []float64 { return v.f64 }
+
+// Strings returns the String payload slice.
+func (v *Vector) Strings() []string { return v.str }
+
+// NullWords returns the null bitmap as 64-bit words (bit set = NULL).
+func (v *Vector) NullWords() []uint64 { return v.nulls }
+
+// AnyNulls reports whether the vector contains at least one NULL.
+func (v *Vector) AnyNulls() bool {
+	for _, w := range v.nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SetNull marks position i as NULL (payload keeps its previous value,
+// which readers must not interpret).
+func (v *Vector) SetNull(i int) { v.nulls[i/64] |= 1 << (i % 64) }
+
+// Resize sets the vector's length to n with all positions valid (non-null)
+// and payload entries ready for direct writes through the raw slices.
+// Existing capacity is reused, making it the kernel output allocation path:
+// after the first batch a Resize is two slice re-slices and a bitmap clear.
+func (v *Vector) Resize(n int) {
+	words := (n + 63) / 64
+	if cap(v.nulls) < words {
+		v.nulls = make([]uint64, words)
+	} else {
+		v.nulls = v.nulls[:words]
+		for i := range v.nulls {
+			v.nulls[i] = 0
+		}
+	}
+	switch v.Type {
+	case sqltypes.Float64:
+		if cap(v.f64) < n {
+			v.f64 = make([]float64, n)
+		} else {
+			v.f64 = v.f64[:n]
+		}
+	case sqltypes.String:
+		if cap(v.str) < n {
+			v.str = make([]string, n)
+		} else {
+			v.str = v.str[:n]
+		}
+	default:
+		if cap(v.i64) < n {
+			v.i64 = make([]int64, n)
+		} else {
+			v.i64 = v.i64[:n]
+		}
+	}
+	v.n = n
+}
+
+// Set writes val at position i of a Resize-d vector (NULL or matching the
+// vector's type family; mismatched types go through the cast used by
+// Append). Unlike Append it touches no growth or bitmap-extension logic,
+// which makes it the bulk-load path for scans that know their row count.
+func (v *Vector) Set(i int, val sqltypes.Value) error {
+	if val.IsNull() {
+		v.SetNull(i)
+		return nil
+	}
+	if val.T != v.Type {
+		cast, err := val.Cast(v.Type)
+		if err != nil {
+			return fmt.Errorf("columnar: %v", err)
+		}
+		val = cast
+	}
+	switch v.Type {
+	case sqltypes.Float64:
+		v.f64[i] = val.F
+	case sqltypes.String:
+		v.str[i] = val.S
+	default:
+		v.i64[i] = val.I
+	}
+	return nil
+}
+
+// Reset empties the vector (keeping capacity) and retypes it to t.
+func (v *Vector) Reset(t sqltypes.Type) {
+	v.Type = t
+	v.n = 0
+	v.nulls = v.nulls[:0]
+	v.i64 = v.i64[:0]
+	v.f64 = v.f64[:0]
+	v.str = v.str[:0]
+}
+
+// Slice returns a zero-copy view of rows [lo, hi). lo must be a multiple of
+// 64 so the null bitmap stays word-aligned; the vectorized scan slices
+// cached partitions into batches at aligned boundaries.
+func (v *Vector) Slice(lo, hi int) (*Vector, error) {
+	if lo%64 != 0 || lo < 0 || hi < lo || hi > v.n {
+		return nil, fmt.Errorf("columnar: bad slice [%d,%d) of %d rows", lo, hi, v.n)
+	}
+	out := &Vector{Type: v.Type, n: hi - lo, nulls: v.nulls[lo/64 : (hi+63)/64]}
+	switch v.Type {
+	case sqltypes.Float64:
+		out.f64 = v.f64[lo:hi]
+	case sqltypes.String:
+		out.str = v.str[lo:hi]
+	default:
+		out.i64 = v.i64[lo:hi]
+	}
+	return out, nil
+}
+
 // MemoryUsage estimates the vector's heap footprint in bytes.
 func (v *Vector) MemoryUsage() int64 {
 	n := int64(len(v.nulls) * 8)
@@ -136,6 +261,15 @@ func (b *Batch) AppendRow(row sqltypes.Row) error {
 	}
 	b.rows++
 	return nil
+}
+
+// BatchOf wraps equal-length vectors as a batch without copying.
+func BatchOf(schema *sqltypes.Schema, cols []*Vector) *Batch {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	return &Batch{Schema: schema, Columns: cols, rows: n}
 }
 
 // FromRows builds a batch from rows.

@@ -99,7 +99,13 @@ func (s *Snapshot) PartitionFor(key sqltypes.Value) int { return s.table.Partiti
 // ChainEach walks the backward chain from ptr in partition p, decoding each
 // row into a reused buffer.
 func (s *Snapshot) ChainEach(p int, ptr rowbatch.Ptr, fn func(sqltypes.Row) bool) error {
-	row := make(sqltypes.Row, s.table.schema.Len())
+	return s.ChainEachInto(p, ptr, make(sqltypes.Row, s.table.schema.Len()), fn)
+}
+
+// ChainEachInto is ChainEach decoding into a caller-provided buffer, so
+// callers probing many keys (the indexed join) allocate one row per
+// partition instead of one per probe.
+func (s *Snapshot) ChainEachInto(p int, ptr rowbatch.Ptr, row sqltypes.Row, fn func(sqltypes.Row) bool) error {
 	var decodeErr error
 	err := s.parts[p].batches.Chain(ptr, func(_ rowbatch.Ptr, payload []byte) bool {
 		if err := s.table.codec.DecodeInto(payload, row); err != nil {
@@ -152,6 +158,17 @@ func (s *Snapshot) ScanPartitionColumns(p int, cols []int, fn func(sqltypes.Row)
 		return err
 	}
 	return decodeErr
+}
+
+// PartitionRowCount counts the rows visible in partition p without
+// decoding them — the vectorized scan's sizing pass.
+func (s *Snapshot) PartitionRowCount(p int) (int, error) {
+	n := 0
+	err := s.parts[p].batches.Scan(s.parts[p].marks, func(rowbatch.Ptr, []byte) bool {
+		n++
+		return true
+	})
+	return n, err
 }
 
 // RowCount counts the rows visible in the snapshot. O(partitions x rows).

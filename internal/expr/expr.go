@@ -258,7 +258,9 @@ func (a *Arith) Eval(row sqltypes.Row) (sqltypes.Value, error) {
 			}
 			return sqltypes.NewFloat64(lf / rf), nil
 		case Mod:
-			if rf == 0 {
+			if int64(rf) == 0 {
+				// A fractional divisor in (-1, 1) truncates to zero; NULL,
+				// not an integer-divide panic.
 				return sqltypes.Null, nil
 			}
 			return sqltypes.NewFloat64(float64(int64(lf) % int64(rf))), nil

@@ -17,6 +17,10 @@ type PlannerConfig struct {
 	// BroadcastThreshold is the estimated row count under which a join
 	// side is broadcast instead of shuffled.
 	BroadcastThreshold int64
+	// DisableVectorized turns off the batch-at-a-time operator rewrite,
+	// forcing row-at-a-time execution everywhere (benchmarks use it to
+	// measure the vectorized engine against the row engine).
+	DisableVectorized bool
 }
 
 // DefaultPlannerConfig mirrors small-cluster Spark defaults scaled to one
@@ -41,8 +45,23 @@ func NewPlanner(cfg PlannerConfig) *Planner {
 	return &Planner{cfg: cfg}
 }
 
-// Plan lowers an analyzed, optimized logical plan.
+// Plan lowers an analyzed, optimized logical plan and — unless disabled —
+// vectorizes every subtree whose operators are batch-capable, leaving row
+// operators (bridged by batch/row adapters) at the boundaries.
 func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
+	e, err := pl.plan(n)
+	if err != nil {
+		return nil, err
+	}
+	if !pl.cfg.DisableVectorized {
+		e = vectorize(e, false) // the root feeds the driver's row collect
+	}
+	return e, nil
+}
+
+// plan is the recursive strategy dispatch (row operators only; the
+// vectorize pass rewrites the finished tree).
+func (pl *Planner) plan(n plan.Node) (physical.Exec, error) {
 	switch t := n.(type) {
 	case *plan.Relation:
 		return pl.planScan(t, nil, t.Schema())
@@ -57,7 +76,7 @@ func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
 	case *plan.Aggregate:
 		return pl.planAggregate(t)
 	case *plan.Sort:
-		child, err := pl.Plan(t.Child)
+		child, err := pl.plan(t.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +86,7 @@ func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
 		}
 		return physical.NewSort(child, orders), nil
 	case *plan.Limit:
-		child, err := pl.Plan(t.Child)
+		child, err := pl.plan(t.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +94,7 @@ func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
 	case *plan.Union:
 		ins := make([]physical.Exec, len(t.Inputs))
 		for i, in := range t.Inputs {
-			e, err := pl.Plan(in)
+			e, err := pl.plan(in)
 			if err != nil {
 				return nil, err
 			}
@@ -119,7 +138,7 @@ func (pl *Planner) planFilter(f *plan.Filter) (physical.Exec, error) {
 			}
 		}
 	}
-	child, err := pl.Plan(f.Child)
+	child, err := pl.plan(f.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +163,7 @@ func (pl *Planner) planProject(p *plan.Project) (physical.Exec, error) {
 			return pl.planScan(rel, cols, p.Schema())
 		}
 	}
-	child, err := pl.Plan(p.Child)
+	child, err := pl.plan(p.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -196,11 +215,11 @@ func (pl *Planner) planJoin(j *plan.Join) (physical.Exec, error) {
 			return exec, nil
 		}
 		// Vanilla equi-join strategies.
-		left, err := pl.Plan(j.Left)
+		left, err := pl.plan(j.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := pl.Plan(j.Right)
+		right, err := pl.plan(j.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -226,11 +245,11 @@ func (pl *Planner) planJoin(j *plan.Join) (physical.Exec, error) {
 	}
 
 	// Non-equi join: nested loop with the full condition.
-	left, err := pl.Plan(j.Left)
+	left, err := pl.plan(j.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := pl.Plan(j.Right)
+	right, err := pl.plan(j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +277,7 @@ func (pl *Planner) tryIndexedJoin(j *plan.Join, pairs []equiPair, residual expr.
 
 	build := func(indexed *catalog.IndexedTable, probeSide plan.Node, probeKey int,
 		indexedIsLeft bool, extraResidual []expr.Expr) (physical.Exec, bool, error) {
-		probe, err := pl.Plan(probeSide)
+		probe, err := pl.plan(probeSide)
 		if err != nil {
 			return nil, false, err
 		}
@@ -319,7 +338,7 @@ func (pl *Planner) tryIndexedJoin(j *plan.Join, pairs []equiPair, residual expr.
 
 // planAggregate lowers an aggregation to partial/exchange/final.
 func (pl *Planner) planAggregate(a *plan.Aggregate) (physical.Exec, error) {
-	child, err := pl.Plan(a.Child)
+	child, err := pl.plan(a.Child)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,154 @@
+package opt
+
+import (
+	"indexeddf/internal/expr"
+	"indexeddf/internal/physical"
+)
+
+// vectorize rewrites a physical plan top-down, swapping each row operator
+// for its vectorized counterpart whenever the operator qualifies AND the
+// swap pays for itself:
+//
+//   - filter / project / partial-and-complete aggregate vectorize whenever
+//     their expressions compile to kernels (expr.CompileVec) — their
+//     per-row savings dominate regardless of who consumes the output;
+//   - the columnar scan always vectorizes (its batches are zero-copy
+//     slices of the cache, so the batch form costs nothing);
+//   - the indexed (row-store) scan and the inner hash / indexed joins
+//     vectorize only when batchSink says the parent ingests batches:
+//     their columnar output costs real work to build, which is wasted if
+//     the very next step materializes rows again (a collect, an exchange,
+//     a sort). Wide join output re-materialized row-by-row is slower than
+//     the row join — measured, not hypothetical;
+//   - the final aggregate phase and outer joins always stay row-based.
+//
+// Mixed plans need no glue: every vectorized operator accepts row parents
+// through the batch adapters and presents a row iterator to row parents,
+// so the fallback boundary is simply wherever the rewrite stops.
+func vectorize(e physical.Exec, batchSink bool) physical.Exec {
+	if rowBound(e) {
+		// Every leaf of this subtree is a point lookup (or literal rows):
+		// the data volume is a handful of rows, where per-query kernel
+		// compilation and batch construction cost more than they save.
+		// The paper's own Figure 3 queries live here — sub-millisecond
+		// index-assisted reads must not pay vectorization overhead.
+		return e
+	}
+	switch t := e.(type) {
+	case *physical.ColumnarScanExec:
+		return physical.NewVecColumnarScan(t.Table, t.Projection, t.Schema())
+	case *physical.IndexedScanExec:
+		if batchSink {
+			return physical.NewVecIndexedScan(t.Table, t.Projection, t.Schema())
+		}
+		return t
+	case *physical.FilterExec:
+		if expr.CanVectorize(t.Cond) {
+			return physical.NewVecFilter(vectorize(t.Child, true), t.Cond)
+		}
+		return physical.NewFilter(vectorize(t.Child, false), t.Cond)
+	case *physical.ProjectExec:
+		if allVectorizable(t.Exprs) {
+			return physical.NewVecProject(vectorize(t.Child, true), t.Exprs, t.Schema())
+		}
+		return physical.NewProject(vectorize(t.Child, false), t.Exprs, t.Schema())
+	case *physical.HashAggExec:
+		if t.Mode != physical.AggFinal && allVectorizable(t.Groups) && aggsVectorizable(t.Aggs) {
+			return physical.NewVecHashAgg(vectorize(t.Child, true), t.Groups, t.Aggs, t.Mode, t.Schema())
+		}
+		return physical.NewHashAgg(vectorize(t.Child, false), t.Groups, t.Aggs, t.Mode, t.Schema())
+	case *physical.BroadcastHashJoinExec:
+		// The build side is collected to rows either way; only the stream
+		// side flows as batches through the vectorized probe.
+		if batchSink && t.Type == physical.InnerJoin && residualVectorizable(t.Residual) {
+			return physical.NewVecBroadcastHashJoin(vectorize(t.Stream, true), vectorize(t.Build, false),
+				t.StreamKeys, t.BuildKeys, t.BuildIsRight, t.Residual)
+		}
+		return physical.NewBroadcastHashJoin(vectorize(t.Stream, false), vectorize(t.Build, false),
+			t.StreamKeys, t.BuildKeys, t.BuildIsRight, t.Type, t.Residual)
+	case *physical.ShuffleHashJoinExec:
+		// Both sides cross a shuffle (row boundary) regardless.
+		if batchSink && t.Type == physical.InnerJoin && residualVectorizable(t.Residual) {
+			return physical.NewVecShuffleHashJoin(vectorize(t.Left, false), vectorize(t.Right, false),
+				t.LeftKeys, t.RightKeys, t.Residual, t.NumPartitions)
+		}
+		return physical.NewShuffleHashJoin(vectorize(t.Left, false), vectorize(t.Right, false),
+			t.LeftKeys, t.RightKeys, t.Type, t.Residual, t.NumPartitions)
+	case *physical.IndexedJoinExec:
+		// The probe side is either collected (broadcast) or shuffled —
+		// a row boundary in both modes.
+		if batchSink && t.Type == physical.InnerJoin && residualVectorizable(t.Residual) {
+			return physical.NewVecIndexedJoin(t.Indexed, vectorize(t.Probe, false), t.ProbeKey,
+				t.IndexedIsLeft, t.Broadcast, t.Residual, t.Schema())
+		}
+		return physical.NewIndexedJoin(t.Indexed, vectorize(t.Probe, false), t.ProbeKey,
+			t.IndexedIsLeft, t.Broadcast, t.Type, t.Residual, t.Schema())
+	case *physical.NestedLoopJoinExec:
+		return physical.NewNestedLoopJoin(vectorize(t.Left, false), vectorize(t.Right, false), t.Type, t.Cond)
+	case *physical.SortExec:
+		return physical.NewSort(vectorize(t.Child, false), t.Orders)
+	case *physical.LimitExec:
+		return physical.NewLimit(vectorize(t.Child, false), t.N)
+	case *physical.ExchangeExec:
+		return physical.NewExchange(vectorize(t.Child, false), t.Keys, t.NumPartitions)
+	case *physical.UnionExec:
+		ins := make([]physical.Exec, len(t.Inputs))
+		for i, in := range t.Inputs {
+			// Union concatenates partitions without touching rows; the
+			// real consumer is the union's own parent.
+			ins[i] = vectorize(in, batchSink)
+		}
+		return physical.NewUnion(ins...)
+	default:
+		// Leaves (Values, IndexLookup) and anything unknown stay row-based.
+		return e
+	}
+}
+
+// rowBound reports whether every leaf of the subtree is an index point
+// lookup or literal rows — cardinality bounded by a key's chain length,
+// not by table size. The indexed join counts as row-bound when its probe
+// side is (its output is probe rows times the matching chains).
+func rowBound(e physical.Exec) bool {
+	switch e.(type) {
+	case *physical.IndexLookupExec, *physical.ValuesExec:
+		return true
+	case *physical.ColumnarScanExec, *physical.IndexedScanExec:
+		return false
+	}
+	children := e.Children()
+	if len(children) == 0 {
+		return false
+	}
+	for _, c := range children {
+		if !rowBound(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func allVectorizable(exprs []expr.Expr) bool {
+	for _, e := range exprs {
+		if !expr.CanVectorize(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func aggsVectorizable(aggs []expr.Agg) bool {
+	for _, a := range aggs {
+		if a.Func == expr.CountStarAgg {
+			continue
+		}
+		if !expr.CanVectorize(a.Arg) {
+			return false
+		}
+	}
+	return true
+}
+
+func residualVectorizable(residual expr.Expr) bool {
+	return residual == nil || expr.CanVectorize(residual)
+}

@@ -93,52 +93,92 @@ type aggGroup struct {
 	accs []acc
 }
 
+// groupAlloc hands out aggGroups and their accumulator slices from chunked
+// slabs, collapsing the per-group allocation cost of hash aggregation
+// (group struct + accumulator slice per distinct key) into one allocation
+// per chunk. Chunks grow geometrically so low-cardinality aggregations do
+// not pay for slabs they never fill. Both the row and vectorized
+// aggregates draw from it.
+type groupAlloc struct {
+	nAggs  int
+	chunk  int
+	groups []aggGroup
+	accs   []acc
+}
+
+func (ga *groupAlloc) new(keys sqltypes.Row) *aggGroup {
+	if len(ga.groups) == 0 {
+		ga.chunk *= 2
+		if ga.chunk < 16 {
+			ga.chunk = 16
+		} else if ga.chunk > 4096 {
+			ga.chunk = 4096
+		}
+		ga.groups = make([]aggGroup, ga.chunk)
+		ga.accs = make([]acc, ga.chunk*ga.nAggs)
+	}
+	g := &ga.groups[0]
+	ga.groups = ga.groups[1:]
+	g.keys = keys
+	g.accs = ga.accs[:ga.nAggs:ga.nAggs]
+	ga.accs = ga.accs[ga.nAggs:]
+	return g
+}
+
 // update folds a raw input row into the group's accumulators.
 func (h *HashAggExec) update(g *aggGroup, row sqltypes.Row) error {
 	for i, a := range h.Aggs {
-		ac := &g.accs[i]
-		switch a.Func {
-		case expr.CountStarAgg:
-			ac.count++
+		if a.Func == expr.CountStarAgg {
+			g.accs[i].count++
 			continue
 		}
 		v, err := a.Arg.Eval(row)
 		if err != nil {
 			return err
 		}
-		if v.IsNull() {
-			continue
-		}
-		switch a.Func {
-		case expr.CountAgg:
-			ac.count++
-		case expr.SumAgg:
-			ac.count++
-			if a.ResultType() == sqltypes.Float64 {
-				ac.sumF += v.Float64Val()
-			} else {
-				ac.sumI += v.Int64Val()
-			}
-		case expr.MinAgg:
-			if ac.min.IsNull() || sqltypes.Compare(v, ac.min) < 0 {
-				ac.min = v
-			}
-		case expr.MaxAgg:
-			if ac.max.IsNull() || sqltypes.Compare(v, ac.max) > 0 {
-				ac.max = v
-			}
-		case expr.AvgAgg:
-			ac.count++
-			ac.sumF += v.Float64Val()
-		}
+		updateAcc(&g.accs[i], a, v)
 	}
 	return nil
 }
 
+// updateAcc folds one evaluated argument value into an accumulator; shared
+// by the row and vectorized aggregate operators (COUNT(*) is handled by the
+// callers, which never evaluate an argument for it).
+func updateAcc(ac *acc, a expr.Agg, v sqltypes.Value) {
+	if v.IsNull() {
+		return
+	}
+	switch a.Func {
+	case expr.CountAgg:
+		ac.count++
+	case expr.SumAgg:
+		ac.count++
+		if a.ResultType() == sqltypes.Float64 {
+			ac.sumF += v.Float64Val()
+		} else {
+			ac.sumI += v.Int64Val()
+		}
+	case expr.MinAgg:
+		if ac.min.IsNull() || sqltypes.Compare(v, ac.min) < 0 {
+			ac.min = v
+		}
+	case expr.MaxAgg:
+		if ac.max.IsNull() || sqltypes.Compare(v, ac.max) > 0 {
+			ac.max = v
+		}
+	case expr.AvgAgg:
+		ac.count++
+		ac.sumF += v.Float64Val()
+	}
+}
+
 // merge folds a partial accumulator row (groups first) into the group.
-func (h *HashAggExec) merge(g *aggGroup, row sqltypes.Row) {
-	pos := len(h.Groups)
-	for i, a := range h.Aggs {
+func (h *HashAggExec) merge(g *aggGroup, row sqltypes.Row) { mergeAccs(h.Aggs, len(h.Groups), g, row) }
+
+// mergeAccs folds a partial accumulator row into a group's accumulators.
+func mergeAccs(aggs []expr.Agg, groupLen int, g *aggGroup, row sqltypes.Row) {
+	pos := groupLen
+	for i, a := range aggs {
 		ac := &g.accs[i]
 		switch a.Func {
 		case expr.CountAgg, expr.CountStarAgg:
@@ -176,15 +216,18 @@ func (h *HashAggExec) merge(g *aggGroup, row sqltypes.Row) {
 }
 
 // emitPartial renders a group's accumulators as a partial row.
-func (h *HashAggExec) emitPartial(g *aggGroup) sqltypes.Row {
-	out := append(sqltypes.Row{}, g.keys...)
-	for i, a := range h.Aggs {
+func (h *HashAggExec) emitPartial(g *aggGroup) sqltypes.Row { return emitPartialRow(h.Aggs, g) }
+
+func emitPartialRow(aggs []expr.Agg, g *aggGroup) sqltypes.Row {
+	out := make(sqltypes.Row, 0, len(g.keys)+2*len(aggs))
+	out = append(out, g.keys...)
+	for i, a := range aggs {
 		ac := g.accs[i]
 		switch a.Func {
 		case expr.CountAgg, expr.CountStarAgg:
 			out = append(out, sqltypes.NewInt64(ac.count))
 		case expr.SumAgg:
-			out = append(out, h.sumValue(a, ac))
+			out = append(out, sumValue(a, ac))
 		case expr.MinAgg:
 			out = append(out, ac.min)
 		case expr.MaxAgg:
@@ -197,15 +240,18 @@ func (h *HashAggExec) emitPartial(g *aggGroup) sqltypes.Row {
 }
 
 // emitFinal renders a group's accumulators as a result row.
-func (h *HashAggExec) emitFinal(g *aggGroup) sqltypes.Row {
-	out := append(sqltypes.Row{}, g.keys...)
-	for i, a := range h.Aggs {
+func (h *HashAggExec) emitFinal(g *aggGroup) sqltypes.Row { return emitFinalRow(h.Aggs, g) }
+
+func emitFinalRow(aggs []expr.Agg, g *aggGroup) sqltypes.Row {
+	out := make(sqltypes.Row, 0, len(g.keys)+len(aggs))
+	out = append(out, g.keys...)
+	for i, a := range aggs {
 		ac := g.accs[i]
 		switch a.Func {
 		case expr.CountAgg, expr.CountStarAgg:
 			out = append(out, sqltypes.NewInt64(ac.count))
 		case expr.SumAgg:
-			out = append(out, h.sumValue(a, ac))
+			out = append(out, sumValue(a, ac))
 		case expr.MinAgg:
 			out = append(out, ac.min)
 		case expr.MaxAgg:
@@ -221,7 +267,7 @@ func (h *HashAggExec) emitFinal(g *aggGroup) sqltypes.Row {
 	return out
 }
 
-func (h *HashAggExec) sumValue(a expr.Agg, ac acc) sqltypes.Value {
+func sumValue(a expr.Agg, ac acc) sqltypes.Value {
 	if ac.count == 0 {
 		return sqltypes.Null
 	}
@@ -239,7 +285,10 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		groups := map[string]*aggGroup{}
-		var order []string // deterministic output order (first seen)
+		var order []*aggGroup // deterministic output order (first seen)
+		ga := groupAlloc{nAggs: len(h.Aggs)}
+		keyScratch := make(sqltypes.Row, len(h.Groups))
+		var keyBuf []byte
 		for {
 			row, err := in.Next()
 			if err != nil {
@@ -248,25 +297,28 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			if row == nil {
 				break
 			}
+			// Encode the group key into the reused buffer; the map probe
+			// below does not allocate — only a first-seen group clones its
+			// key values and materializes the key string.
 			var keyVals sqltypes.Row
 			if h.Mode == AggFinal {
-				keyVals = row[:len(h.Groups)].Clone()
+				keyVals = row[:len(h.Groups)]
 			} else {
-				keyVals = make(sqltypes.Row, len(h.Groups))
 				for i, ge := range h.Groups {
 					v, err := ge.Eval(row)
 					if err != nil {
 						return nil, err
 					}
-					keyVals[i] = v
+					keyScratch[i] = v
 				}
+				keyVals = keyScratch
 			}
-			k := encodeValues(keyVals)
-			g, ok := groups[k]
+			keyBuf = appendValuesKey(keyBuf[:0], keyVals)
+			g, ok := groups[string(keyBuf)]
 			if !ok {
-				g = &aggGroup{keys: keyVals, accs: make([]acc, len(h.Aggs))}
-				groups[k] = g
-				order = append(order, k)
+				g = ga.new(keyVals.Clone())
+				groups[string(keyBuf)] = g
+				order = append(order, g)
 			}
 			if h.Mode == AggFinal {
 				h.merge(g, row)
@@ -283,8 +335,7 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			return sqltypes.NewSliceIter([]sqltypes.Row{h.emitFinal(g)}), nil
 		}
 		out := make([]sqltypes.Row, 0, len(groups))
-		for _, k := range order {
-			g := groups[k]
+		for _, g := range order {
 			if h.Mode == AggPartial {
 				out = append(out, h.emitPartial(g))
 			} else {

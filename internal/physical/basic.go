@@ -313,17 +313,7 @@ func (e *ExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if len(e.Keys) == 0 {
 		return ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{}), nil
 	}
-	keys := e.Keys
-	part := &rdd.HashPartitioner{
-		N: e.NumPartitions,
-		Key: func(r sqltypes.Row) sqltypes.Value {
-			if len(keys) == 1 {
-				return keyOf(r, keys[0])
-			}
-			return sqltypes.NewString(multiKeyOf(r, keys))
-		},
-	}
-	return ec.RDD.NewShuffledRDD(child, part), nil
+	return ec.RDD.NewShuffledRDD(child, keyPartitioner(e.Keys, e.NumPartitions)), nil
 }
 
 // ---------------------------------------------------------------------------

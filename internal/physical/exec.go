@@ -76,28 +76,48 @@ func TreeString(e Exec) string {
 // core.NormalizeKey so probe keys collide with index keys.
 func NormalizeKey(v sqltypes.Value) sqltypes.Value { return core.NormalizeKey(v) }
 
-// encodeValues renders a composite key as a byte string for map grouping.
-func encodeValues(vals []sqltypes.Value) string {
-	var sb []byte
+// AppendValueKey appends the canonical key encoding of v to dst and returns
+// the extended buffer. The encoding is normalized (NormalizeKey) so values
+// that compare equal across numeric widths encode identically. Both the
+// row-at-a-time and the vectorized operators key their hash tables with
+// this append-into-reusable-buffer API: lookups go through `m[string(buf)]`
+// (which Go compiles without a string allocation) and only inserting a new
+// key materializes a string.
+func AppendValueKey(dst []byte, v sqltypes.Value) []byte {
 	var buf [8]byte
-	for _, v := range vals {
-		v = NormalizeKey(v)
-		sb = append(sb, byte(v.T))
-		switch v.T {
-		case sqltypes.Unknown:
-		case sqltypes.Float64:
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
-			sb = append(sb, buf[:]...)
-		case sqltypes.String:
-			binary.LittleEndian.PutUint64(buf[:], uint64(len(v.S)))
-			sb = append(sb, buf[:]...)
-			sb = append(sb, v.S...)
-		default:
-			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
-			sb = append(sb, buf[:]...)
-		}
+	v = NormalizeKey(v)
+	dst = append(dst, byte(v.T))
+	switch v.T {
+	case sqltypes.Unknown:
+	case sqltypes.Float64:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+		dst = append(dst, buf[:]...)
+	case sqltypes.String:
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(v.S)))
+		dst = append(dst, buf[:]...)
+		dst = append(dst, v.S...)
+	default:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+		dst = append(dst, buf[:]...)
 	}
-	return string(sb)
+	return dst
+}
+
+// AppendRowKey appends the composite key encoding of the given column
+// ordinals of row to dst.
+func AppendRowKey(dst []byte, row sqltypes.Row, ordinals []int) []byte {
+	for _, o := range ordinals {
+		dst = AppendValueKey(dst, row[o])
+	}
+	return dst
+}
+
+// appendValuesKey appends the encoding of a value list (a group-key row).
+func appendValuesKey(dst []byte, vals []sqltypes.Value) []byte {
+	for _, v := range vals {
+		dst = AppendValueKey(dst, v)
+	}
+	return dst
 }
 
 // keyOf extracts and normalizes a single-column key.
@@ -105,13 +125,39 @@ func keyOf(row sqltypes.Row, ordinal int) sqltypes.Value {
 	return NormalizeKey(row[ordinal])
 }
 
-// multiKeyOf extracts a composite key string.
-func multiKeyOf(row sqltypes.Row, ordinals []int) string {
-	vals := make([]sqltypes.Value, len(ordinals))
-	for i, o := range ordinals {
-		vals[i] = row[o]
+// rowKeyHash hashes the composite key of the given ordinals — the shuffle
+// partitioning function for multi-column keys. It combines the normalized
+// per-value hashes, so no key bytes are materialized per row.
+func rowKeyHash(row sqltypes.Row, ordinals []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, o := range ordinals {
+		x := NormalizeKey(row[o]).Hash64()
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(x))) * fnvPrime64
+			x >>= 8
+		}
 	}
-	return encodeValues(vals)
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyPartitioner builds the hash partitioner for the given key ordinals:
+// single-column keys route by the normalized value's hash (matching the
+// index partitioning), composite keys by the combined per-value hash.
+func keyPartitioner(keys []int, n int) *rdd.HashPartitioner {
+	if len(keys) == 1 {
+		k := keys[0]
+		return &rdd.HashPartitioner{N: n, Key: func(r sqltypes.Row) sqltypes.Value {
+			return keyOf(r, k)
+		}}
+	}
+	return &rdd.HashPartitioner{N: n, Hash: func(r sqltypes.Row) uint64 {
+		return rowKeyHash(r, keys)
+	}}
 }
 
 // hasNullKey reports whether any key column is NULL (null keys never join).

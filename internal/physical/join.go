@@ -19,29 +19,57 @@ const (
 
 func (t JoinType) String() string { return [...]string{"Inner", "LeftOuter"}[t] }
 
+// joinTable is an equi-join hash table: encoded key -> bucket of build
+// rows. Buckets are held by pointer so a probe or build touches the map
+// with `m[string(buf)]` lookups only — the key string is allocated once
+// per distinct key at insert, never per row.
+type joinTable struct {
+	m map[string]*joinBucket
+}
+
+type joinBucket struct {
+	rows []sqltypes.Row
+}
+
+// Lookup returns the build rows for the key encoded in buf, or nil.
+func (t joinTable) Lookup(buf []byte) []sqltypes.Row {
+	if b := t.m[string(buf)]; b != nil {
+		return b.rows
+	}
+	return nil
+}
+
 // buildHashTable maps normalized composite keys to build-side rows,
 // skipping null keys (SQL equi-joins never match NULL).
-func buildHashTable(rows []sqltypes.Row, keys []int) map[string][]sqltypes.Row {
-	ht := make(map[string][]sqltypes.Row, len(rows))
+func buildHashTable(rows []sqltypes.Row, keys []int) joinTable {
+	ht := joinTable{m: make(map[string]*joinBucket, len(rows))}
+	var buf []byte
 	for _, r := range rows {
 		if hasNullKey(r, keys) {
 			continue
 		}
-		k := multiKeyOf(r, keys)
-		ht[k] = append(ht[k], r)
+		buf = AppendRowKey(buf[:0], r, keys)
+		b := ht.m[string(buf)]
+		if b == nil {
+			b = &joinBucket{}
+			ht.m[string(buf)] = b
+		}
+		b.rows = append(b.rows, r)
 	}
 	return ht
 }
 
 // probe joins stream rows against the hash table; residual (bound against
 // the concatenated left+right schema) further filters matches.
-func probe(stream []sqltypes.Row, ht map[string][]sqltypes.Row, streamKeys []int,
+func probe(stream []sqltypes.Row, ht joinTable, streamKeys []int,
 	streamIsLeft bool, joinType JoinType, residual expr.Expr, buildWidth int) ([]sqltypes.Row, error) {
 	var out []sqltypes.Row
+	var buf []byte
 	for _, s := range stream {
 		matched := false
 		if !hasNullKey(s, streamKeys) {
-			for _, b := range ht[multiKeyOf(s, streamKeys)] {
+			buf = AppendRowKey(buf[:0], s, streamKeys)
+			for _, b := range ht.Lookup(buf) {
 				var joined sqltypes.Row
 				if streamIsLeft {
 					joined = s.Concat(b)
@@ -110,16 +138,8 @@ func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	mkPart := func(keys []int) rdd.Partitioner {
-		return &rdd.HashPartitioner{N: j.NumPartitions, Key: func(r sqltypes.Row) sqltypes.Value {
-			if len(keys) == 1 {
-				return keyOf(r, keys[0])
-			}
-			return sqltypes.NewString(multiKeyOf(r, keys))
-		}}
-	}
-	ls := ec.RDD.NewShuffledRDD(left, mkPart(j.LeftKeys))
-	rs := ec.RDD.NewShuffledRDD(right, mkPart(j.RightKeys))
+	ls := ec.RDD.NewShuffledRDD(left, keyPartitioner(j.LeftKeys, j.NumPartitions))
+	rs := ec.RDD.NewShuffledRDD(right, keyPartitioner(j.RightKeys, j.NumPartitions))
 	lKeys, rKeys := j.LeftKeys, j.RightKeys
 	jt, residual := j.Type, j.Residual
 	rightWidth := j.Right.Schema().Len()

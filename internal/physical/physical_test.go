@@ -372,13 +372,13 @@ func TestNormalizeKeyAndEncodeValues(t *testing.T) {
 	if NormalizeKey(sqltypes.NewFloat64(5.5)).T != sqltypes.Float64 {
 		t.Fatal("fractional double mangled")
 	}
-	a := encodeValues([]sqltypes.Value{sqltypes.NewInt32(5), sqltypes.NewString("x")})
-	b := encodeValues([]sqltypes.Value{sqltypes.NewInt64(5), sqltypes.NewString("x")})
+	a := string(appendValuesKey(nil, []sqltypes.Value{sqltypes.NewInt32(5), sqltypes.NewString("x")}))
+	b := string(appendValuesKey(nil, []sqltypes.Value{sqltypes.NewInt64(5), sqltypes.NewString("x")}))
 	if a != b {
 		t.Fatal("equal composite keys encode differently")
 	}
-	c := encodeValues([]sqltypes.Value{sqltypes.Null})
-	d := encodeValues([]sqltypes.Value{sqltypes.NewInt64(0)})
+	c := string(appendValuesKey(nil, []sqltypes.Value{sqltypes.Null}))
+	d := string(appendValuesKey(nil, []sqltypes.Value{sqltypes.NewInt64(0)}))
 	if c == d {
 		t.Fatal("NULL collides with zero")
 	}

@@ -1,0 +1,183 @@
+package physical
+
+import (
+	"fmt"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// VecHashAggExec is the vectorized hash aggregate for the Partial and
+// Complete phases (the Final phase sits behind a shuffle, whose input is
+// row-based and small — one row per group — so it stays row-at-a-time).
+//
+// Group keys are encoded batch-at-a-time into one reusable buffer and
+// probed with a zero-allocation map lookup; only a first-seen group
+// allocates (its key string and accumulators). Aggregate arguments are
+// evaluated as whole vectors before the fold loop.
+type VecHashAggExec struct {
+	Child  Exec
+	Groups []expr.Expr
+	Aggs   []expr.Agg
+	Mode   AggMode
+	schema *sqltypes.Schema
+}
+
+// NewVecHashAgg builds a vectorized hash aggregate (Mode must be AggPartial
+// or AggComplete).
+func NewVecHashAgg(child Exec, groups []expr.Expr, aggs []expr.Agg, mode AggMode, outSchema *sqltypes.Schema) *VecHashAggExec {
+	return &VecHashAggExec{Child: child, Groups: groups, Aggs: aggs, Mode: mode, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (h *VecHashAggExec) Schema() *sqltypes.Schema { return h.schema }
+
+// Children implements Exec.
+func (h *VecHashAggExec) Children() []Exec { return []Exec{h.Child} }
+
+func (h *VecHashAggExec) String() string {
+	row := HashAggExec{Groups: h.Groups, Aggs: h.Aggs, Mode: h.Mode}
+	return "Vec" + row.String()
+}
+
+// Execute implements Exec.
+func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	if h.Mode == AggFinal {
+		return nil, fmt.Errorf("physical: VecHashAgg does not implement the final phase")
+	}
+	child, err := h.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := h.Child.Schema()
+	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+		groups := make([]*expr.VecExpr, len(h.Groups))
+		for i, g := range h.Groups {
+			ve, ok := expr.CompileVec(g)
+			if !ok {
+				return nil, fmt.Errorf("physical: group expression %s is not vectorizable", g)
+			}
+			groups[i] = ve
+		}
+		args := make([]*expr.VecExpr, len(h.Aggs))
+		for i, a := range h.Aggs {
+			if a.Func == expr.CountStarAgg {
+				continue
+			}
+			ve, ok := expr.CompileVec(a.Arg)
+			if !ok {
+				return nil, fmt.Errorf("physical: aggregate argument %s is not vectorizable", a.Arg)
+			}
+			args[i] = ve
+		}
+		return h.aggregate(in, groups, args)
+	}), nil
+}
+
+// aggregate consumes the whole input and renders the result batches.
+func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*expr.VecExpr) (vector.BatchIter, error) {
+	table := map[string]*aggGroup{}
+	var order []*aggGroup
+	ga := groupAlloc{nAggs: len(h.Aggs)}
+	var keyBuf []byte
+	gvecs := make([]*columnar.Vector, len(groupExprs))
+	avecs := make([]*columnar.Vector, len(argExprs))
+	// Fast path: a single integer-family group key uses its int64 lane as
+	// the map key directly — no key encoding, no string hashing. This is
+	// the dominant GROUP BY shape (Figure 2 groups by person1Id).
+	intKey := len(groupExprs) == 1 && groupExprs[0].Type().IntLane()
+	intTable := map[int64]*aggGroup{}
+	var nullGroup *aggGroup
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i, ge := range groupExprs {
+			if gvecs[i], err = ge.Eval(b); err != nil {
+				return nil, err
+			}
+		}
+		for i, ae := range argExprs {
+			if ae == nil {
+				continue // COUNT(*)
+			}
+			if avecs[i], err = ae.Eval(b); err != nil {
+				return nil, err
+			}
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			var g *aggGroup
+			if intKey {
+				gv := gvecs[0]
+				if gv.IsNull(i) {
+					if nullGroup == nil {
+						nullGroup = ga.new(sqltypes.Row{sqltypes.Null})
+						order = append(order, nullGroup)
+					}
+					g = nullGroup
+				} else {
+					k := gv.Int64s()[i]
+					var ok bool
+					if g, ok = intTable[k]; !ok {
+						g = ga.new(sqltypes.Row{gv.Get(i)})
+						intTable[k] = g
+						order = append(order, g)
+					}
+				}
+			} else {
+				keyBuf = keyBuf[:0]
+				for _, gv := range gvecs {
+					keyBuf = AppendValueKey(keyBuf, gv.Get(i))
+				}
+				var ok bool
+				if g, ok = table[string(keyBuf)]; !ok {
+					keys := make(sqltypes.Row, len(gvecs))
+					for k, gv := range gvecs {
+						keys[k] = gv.Get(i)
+					}
+					g = ga.new(keys)
+					table[string(keyBuf)] = g
+					order = append(order, g)
+				}
+			}
+			for ai, a := range h.Aggs {
+				if a.Func == expr.CountStarAgg {
+					g.accs[ai].count++
+					continue
+				}
+				updateAcc(&g.accs[ai], a, avecs[ai].Get(i))
+			}
+		}
+	}
+	// Global aggregates emit one row even with no input (Complete mode).
+	if len(order) == 0 && len(h.Groups) == 0 && h.Mode != AggPartial {
+		order = append(order, &aggGroup{accs: make([]acc, len(h.Aggs))})
+	}
+	// Render result rows into dense batches.
+	var batches []*vector.Batch
+	var cur *vector.Batch
+	for _, g := range order {
+		if cur == nil || cur.Len() >= vector.DefaultBatchSize {
+			cur = vector.NewBatch(h.schema)
+			batches = append(batches, cur)
+		}
+		var row sqltypes.Row
+		if h.Mode == AggPartial {
+			row = emitPartialRow(h.Aggs, g)
+		} else {
+			row = emitFinalRow(h.Aggs, g)
+		}
+		if err := cur.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return vector.NewSliceIter(batches), nil
+}

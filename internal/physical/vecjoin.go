@@ -1,0 +1,394 @@
+package physical
+
+import (
+	"fmt"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/core"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// The vectorized joins cover inner equi-joins (outer joins need per-probe
+// matched bookkeeping that conflicts with the batched residual post-filter,
+// so they stay on the row operators). Probe keys are encoded
+// batch-at-a-time into one reusable buffer, matches are appended
+// column-wise into a reused output batch — no per-match joined-row
+// allocation — and a residual predicate runs as a vectorized post-filter
+// over the joined batch.
+
+// appendJoined appends stream row i of b joined with the build row to out.
+func appendJoined(out, b *vector.Batch, i int, build sqltypes.Row, streamIsLeft bool) error {
+	if streamIsLeft {
+		for c, col := range b.Cols {
+			if err := out.Cols[c].Append(col.Get(i)); err != nil {
+				return err
+			}
+		}
+		off := len(b.Cols)
+		for c, v := range build {
+			if err := out.Cols[off+c].Append(v); err != nil {
+				return err
+			}
+		}
+	} else {
+		for c, v := range build {
+			if err := out.Cols[c].Append(v); err != nil {
+				return err
+			}
+		}
+		off := len(build)
+		for c, col := range b.Cols {
+			if err := out.Cols[off+c].Append(col.Get(i)); err != nil {
+				return err
+			}
+		}
+	}
+	out.SetLen(out.Len() + 1)
+	return nil
+}
+
+// residualFilter applies a compiled residual to the joined batch, gathering
+// survivors into filtered. Returns nil when nothing survives.
+func residualFilter(residual *expr.VecExpr, out, filtered *vector.Batch, sel *[]int) (*vector.Batch, error) {
+	if residual == nil || out.Len() == 0 {
+		return out, nil
+	}
+	bools, err := residual.Eval(out)
+	if err != nil {
+		return nil, err
+	}
+	*sel = vector.SelectTrue(bools, (*sel)[:0])
+	switch len(*sel) {
+	case 0:
+		return nil, nil
+	case out.Len():
+		return out, nil
+	}
+	vector.Gather(filtered, out, *sel)
+	return filtered, nil
+}
+
+// compileResidual compiles an optional residual predicate.
+func compileResidual(residual expr.Expr) (*expr.VecExpr, error) {
+	if residual == nil {
+		return nil, nil
+	}
+	ve, ok := expr.CompileVec(residual)
+	if !ok {
+		return nil, fmt.Errorf("physical: residual %s is not vectorizable", residual)
+	}
+	return ve, nil
+}
+
+// vecProbeIter joins stream batches against a build-side hash table.
+type vecProbeIter struct {
+	in            vector.BatchIter
+	ht            joinTable
+	keys          []int
+	streamIsLeft  bool
+	residual      *expr.VecExpr
+	out, filtered *vector.Batch
+	keyBuf        []byte
+	sel           []int
+}
+
+// Next implements vector.BatchIter.
+func (it *vecProbeIter) Next() (*vector.Batch, error) {
+	for {
+		b, err := it.in.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		it.out.Reset()
+		n := b.Len()
+	rows:
+		for i := 0; i < n; i++ {
+			for _, k := range it.keys {
+				if b.Cols[k].IsNull(i) {
+					continue rows // null keys never join
+				}
+			}
+			it.keyBuf = it.keyBuf[:0]
+			for _, k := range it.keys {
+				it.keyBuf = AppendValueKey(it.keyBuf, b.Cols[k].Get(i))
+			}
+			for _, m := range it.ht.Lookup(it.keyBuf) {
+				if err := appendJoined(it.out, b, i, m, it.streamIsLeft); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res, err := residualFilter(it.residual, it.out, it.filtered, &it.sel)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil && res.Len() > 0 {
+			return res, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// VecBroadcastHashJoin
+
+// VecBroadcastHashJoinExec is the vectorized inner BroadcastHashJoinExec.
+type VecBroadcastHashJoinExec struct {
+	Stream, Build         Exec
+	StreamKeys, BuildKeys []int
+	BuildIsRight          bool
+	Residual              expr.Expr
+}
+
+// NewVecBroadcastHashJoin builds a vectorized broadcast hash join (inner).
+func NewVecBroadcastHashJoin(stream, build Exec, streamKeys, buildKeys []int,
+	buildIsRight bool, residual expr.Expr) *VecBroadcastHashJoinExec {
+	return &VecBroadcastHashJoinExec{Stream: stream, Build: build, StreamKeys: streamKeys,
+		BuildKeys: buildKeys, BuildIsRight: buildIsRight, Residual: residual}
+}
+
+// Schema implements Exec.
+func (j *VecBroadcastHashJoinExec) Schema() *sqltypes.Schema {
+	if j.BuildIsRight {
+		return j.Stream.Schema().Concat(j.Build.Schema())
+	}
+	return j.Build.Schema().Concat(j.Stream.Schema())
+}
+
+// Children implements Exec.
+func (j *VecBroadcastHashJoinExec) Children() []Exec { return []Exec{j.Stream, j.Build} }
+
+func (j *VecBroadcastHashJoinExec) String() string {
+	return fmt.Sprintf("VecBroadcastHashJoin Inner skeys=%v bkeys=%v", j.StreamKeys, j.BuildKeys)
+}
+
+// Execute implements Exec.
+func (j *VecBroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	buildRDD, err := j.Build.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	buildRows, err := ec.RDD.Collect(buildRDD)
+	if err != nil {
+		return nil, err
+	}
+	ht := buildHashTable(buildRows, j.BuildKeys)
+	stream, err := j.Stream.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	streamSchema := j.Stream.Schema()
+	outSchema := j.Schema()
+	sKeys, streamIsLeft, residual := j.StreamKeys, j.BuildIsRight, j.Residual
+	return ec.RDD.NewBatchIterRDD(stream, 0, streamSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+		res, err := compileResidual(residual)
+		if err != nil {
+			return nil, err
+		}
+		return &vecProbeIter{in: in, ht: ht, keys: sKeys, streamIsLeft: streamIsLeft,
+			residual: res, out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}, nil
+	}), nil
+}
+
+// ---------------------------------------------------------------------------
+// VecShuffleHashJoin
+
+// VecShuffleHashJoinExec is the vectorized inner ShuffleHashJoinExec: both
+// sides hash-partitioned, the right co-partition built into a table, the
+// left probed through it batch-at-a-time.
+type VecShuffleHashJoinExec struct {
+	Left, Right         Exec
+	LeftKeys, RightKeys []int
+	Residual            expr.Expr
+	NumPartitions       int
+}
+
+// NewVecShuffleHashJoin builds a vectorized shuffle hash join (inner).
+func NewVecShuffleHashJoin(left, right Exec, leftKeys, rightKeys []int,
+	residual expr.Expr, numPartitions int) *VecShuffleHashJoinExec {
+	return &VecShuffleHashJoinExec{Left: left, Right: right, LeftKeys: leftKeys,
+		RightKeys: rightKeys, Residual: residual, NumPartitions: numPartitions}
+}
+
+// Schema implements Exec.
+func (j *VecShuffleHashJoinExec) Schema() *sqltypes.Schema {
+	return j.Left.Schema().Concat(j.Right.Schema())
+}
+
+// Children implements Exec.
+func (j *VecShuffleHashJoinExec) Children() []Exec { return []Exec{j.Left, j.Right} }
+
+func (j *VecShuffleHashJoinExec) String() string {
+	return fmt.Sprintf("VecShuffleHashJoin Inner lkeys=%v rkeys=%v", j.LeftKeys, j.RightKeys)
+}
+
+// Execute implements Exec.
+func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	left, err := j.Left.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	ls := ec.RDD.NewShuffledRDD(left, keyPartitioner(j.LeftKeys, j.NumPartitions))
+	rs := ec.RDD.NewShuffledRDD(right, keyPartitioner(j.RightKeys, j.NumPartitions))
+	leftSchema := j.Left.Schema()
+	outSchema := j.Schema()
+	lKeys, rKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
+	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
+		rrows, err := sqltypes.Drain(rit)
+		if err != nil {
+			return nil, err
+		}
+		ht := buildHashTable(rrows, rKeys)
+		res, err := compileResidual(residual)
+		if err != nil {
+			return nil, err
+		}
+		probe := &vecProbeIter{in: vector.AsBatchIter(lit, leftSchema, vector.DefaultBatchSize),
+			ht: ht, keys: lKeys, streamIsLeft: true, residual: res,
+			out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}
+		return vector.NewRowIter(probe), nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// VecIndexedJoin
+
+// VecIndexedJoinExec is the vectorized inner IndexedJoinExec: probe rows
+// stream through in batches, each key answered by a Ctrie lookup plus a
+// backward-chain walk whose decoded rows are appended column-wise into the
+// output batch (the row operator allocates one joined row per match).
+type VecIndexedJoinExec struct {
+	Indexed       *catalog.IndexedTable
+	Probe         Exec
+	ProbeKey      int
+	IndexedIsLeft bool
+	Broadcast     bool
+	Residual      expr.Expr
+	schema        *sqltypes.Schema
+}
+
+// NewVecIndexedJoin builds a vectorized indexed join (inner).
+func NewVecIndexedJoin(indexed *catalog.IndexedTable, probe Exec, probeKey int,
+	indexedIsLeft, broadcast bool, residual expr.Expr, outSchema *sqltypes.Schema) *VecIndexedJoinExec {
+	return &VecIndexedJoinExec{Indexed: indexed, Probe: probe, ProbeKey: probeKey,
+		IndexedIsLeft: indexedIsLeft, Broadcast: broadcast, Residual: residual, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (j *VecIndexedJoinExec) Schema() *sqltypes.Schema { return j.schema }
+
+// Children implements Exec.
+func (j *VecIndexedJoinExec) Children() []Exec { return []Exec{j.Probe} }
+
+func (j *VecIndexedJoinExec) String() string {
+	mode := "shuffle"
+	if j.Broadcast {
+		mode = "broadcast"
+	}
+	return fmt.Sprintf("VecIndexedJoin Inner %s build=%s probeKey=%d", mode, j.Indexed.Name(), j.ProbeKey)
+}
+
+// Execute implements Exec.
+func (j *VecIndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	snap := ec.SnapshotOf(j.Indexed.Core())
+	probeRDD, err := j.Probe.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	n := snap.NumPartitions()
+	probeSchema := j.Probe.Schema()
+	outSchema := j.schema
+	mkIter := func(in vector.BatchIter, p int) (vector.BatchIter, error) {
+		res, err := compileResidual(j.Residual)
+		if err != nil {
+			return nil, err
+		}
+		return &vecIndexedJoinIter{in: in, snap: snap, part: p, probeKey: j.ProbeKey,
+			indexedIsLeft: j.IndexedIsLeft, residual: res,
+			decodeRow: make(sqltypes.Row, j.Indexed.Schema().Len()),
+			out:       vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}, nil
+	}
+	if j.Broadcast {
+		probeRows, err := ec.RDD.Collect(probeRDD)
+		if err != nil {
+			return nil, err
+		}
+		// Route each probe row to its key's home partition on the driver.
+		routed := make([][]sqltypes.Row, n)
+		for _, r := range probeRows {
+			key := r[j.ProbeKey]
+			if key.IsNull() {
+				continue
+			}
+			p := snap.PartitionFor(key)
+			routed[p] = append(routed[p], r)
+		}
+		return ec.RDD.NewBatchIterRDD(nil, n, nil, func(_ *rdd.TaskContext, p int, _ vector.BatchIter) (vector.BatchIter, error) {
+			return mkIter(batchRows(routed[p], nil, probeSchema), p)
+		}), nil
+	}
+	// Shuffle mode: hash the probe side with the index's partitioning.
+	part := keyPartitioner([]int{j.ProbeKey}, n)
+	shuffled := ec.RDD.NewShuffledRDD(probeRDD, part)
+	return ec.RDD.NewBatchIterRDD(shuffled, 0, probeSchema, func(_ *rdd.TaskContext, p int, in vector.BatchIter) (vector.BatchIter, error) {
+		return mkIter(in, p)
+	}), nil
+}
+
+type vecIndexedJoinIter struct {
+	in            vector.BatchIter
+	snap          *core.Snapshot
+	part          int
+	probeKey      int
+	indexedIsLeft bool
+	residual      *expr.VecExpr
+	decodeRow     sqltypes.Row
+	out, filtered *vector.Batch
+	sel           []int
+}
+
+// Next implements vector.BatchIter.
+func (it *vecIndexedJoinIter) Next() (*vector.Batch, error) {
+	for {
+		b, err := it.in.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		it.out.Reset()
+		n := b.Len()
+		keyCol := b.Cols[it.probeKey]
+		for i := 0; i < n; i++ {
+			if keyCol.IsNull(i) {
+				continue
+			}
+			ptr, ok := it.snap.LookupPtr(it.part, keyCol.Get(i))
+			if !ok {
+				continue
+			}
+			var appendErr error
+			err := it.snap.ChainEachInto(it.part, ptr, it.decodeRow, func(indexedRow sqltypes.Row) bool {
+				appendErr = appendJoined(it.out, b, i, indexedRow, !it.indexedIsLeft)
+				return appendErr == nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if appendErr != nil {
+				return nil, appendErr
+			}
+		}
+		res, err := residualFilter(it.residual, it.out, it.filtered, &it.sel)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil && res.Len() > 0 {
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package physical
+
+import (
+	"fmt"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// ---------------------------------------------------------------------------
+// VecColumnarScan — batch scan of the vanilla columnar cache
+//
+// The cached partition already is column-major, so the vectorized scan
+// emits zero-copy views: each batch's vectors are 1024-row slices of the
+// cached vectors. No value is materialized until an operator actually
+// needs it — a pushed-down projection never touches the pruned columns.
+
+// VecColumnarScanExec is the vectorized ColumnarScanExec.
+type VecColumnarScanExec struct {
+	Table      *catalog.ColumnTable
+	Projection []int // nil = all columns
+	schema     *sqltypes.Schema
+}
+
+// NewVecColumnarScan builds a vectorized columnar scan.
+func NewVecColumnarScan(table *catalog.ColumnTable, projection []int, outSchema *sqltypes.Schema) *VecColumnarScanExec {
+	return &VecColumnarScanExec{Table: table, Projection: projection, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (s *VecColumnarScanExec) Schema() *sqltypes.Schema { return s.schema }
+
+// Children implements Exec.
+func (s *VecColumnarScanExec) Children() []Exec { return nil }
+
+func (s *VecColumnarScanExec) String() string {
+	if s.Projection != nil {
+		return fmt.Sprintf("VecColumnarScan %s cols=%v", s.Table.Name(), s.Projection)
+	}
+	return fmt.Sprintf("VecColumnarScan %s", s.Table.Name())
+}
+
+// Execute implements Exec.
+func (s *VecColumnarScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	table := s.Table
+	proj := s.Projection
+	schema := s.schema
+	n := table.NumPartitions()
+	return ec.RDD.NewBatchIterRDD(nil, n, nil, func(_ *rdd.TaskContext, p int, _ vector.BatchIter) (vector.BatchIter, error) {
+		if !table.IsCached() {
+			// Uncached: gather the row partition into batches.
+			return batchRows(table.RowPartition(p), proj, schema), nil
+		}
+		cb, err := table.ColumnarPartition(p)
+		if err != nil {
+			return nil, err
+		}
+		return &columnarSliceIter{cb: cb, proj: proj, schema: schema}, nil
+	}), nil
+}
+
+// columnarSliceIter windows a cached columnar partition into zero-copy
+// batches of DefaultBatchSize rows (the window start stays 64-aligned for
+// the shared null bitmaps).
+type columnarSliceIter struct {
+	cb     *columnar.Batch
+	proj   []int
+	schema *sqltypes.Schema
+	pos    int
+}
+
+// Next implements vector.BatchIter.
+func (it *columnarSliceIter) Next() (*vector.Batch, error) {
+	nr := it.cb.NumRows()
+	if it.pos >= nr {
+		return nil, nil
+	}
+	lo := it.pos
+	hi := lo + vector.DefaultBatchSize
+	if hi > nr {
+		hi = nr
+	}
+	it.pos = hi
+	return vector.FromColumnar(it.cb, lo, hi, it.proj, it.schema)
+}
+
+// batchRows copies rows (optionally projected) into dense batches.
+func batchRows(rows []sqltypes.Row, proj []int, schema *sqltypes.Schema) vector.BatchIter {
+	var batches []*vector.Batch
+	var cur *vector.Batch
+	for _, r := range rows {
+		if cur == nil || cur.Len() >= vector.DefaultBatchSize {
+			cur = vector.NewBatch(schema)
+			batches = append(batches, cur)
+		}
+		if proj == nil {
+			if err := cur.AppendRow(r); err != nil {
+				return &errIter{err: err}
+			}
+		} else {
+			for j, c := range proj {
+				if err := cur.Cols[j].Append(r[c]); err != nil {
+					return &errIter{err: err}
+				}
+			}
+			cur.SetLen(cur.Len() + 1)
+		}
+	}
+	return vector.NewSliceIter(batches)
+}
+
+// errIter surfaces a construction error through the BatchIter protocol.
+type errIter struct{ err error }
+
+func (it *errIter) Next() (*vector.Batch, error) { return nil, it.err }
+
+// ---------------------------------------------------------------------------
+// VecIndexedScan — batch scan of the Indexed DataFrame's row batches
+//
+// Still a row-store scan (every record is decoded), but the decoded values
+// land directly in column vectors: no per-row Row allocation and no
+// per-row Clone, which is where the row-at-a-time scan spends most of its
+// allocation budget.
+
+// VecIndexedScanExec is the vectorized IndexedScanExec.
+type VecIndexedScanExec struct {
+	Table      *catalog.IndexedTable
+	Projection []int
+	schema     *sqltypes.Schema
+}
+
+// NewVecIndexedScan builds a vectorized snapshot scan.
+func NewVecIndexedScan(table *catalog.IndexedTable, projection []int, outSchema *sqltypes.Schema) *VecIndexedScanExec {
+	return &VecIndexedScanExec{Table: table, Projection: projection, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (s *VecIndexedScanExec) Schema() *sqltypes.Schema { return s.schema }
+
+// Children implements Exec.
+func (s *VecIndexedScanExec) Children() []Exec { return nil }
+
+func (s *VecIndexedScanExec) String() string {
+	if s.Projection != nil {
+		return fmt.Sprintf("VecIndexedScan %s cols=%v", s.Table.Name(), s.Projection)
+	}
+	return fmt.Sprintf("VecIndexedScan %s", s.Table.Name())
+}
+
+// Execute implements Exec.
+func (s *VecIndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	snap := ec.SnapshotOf(s.Table.Core())
+	proj := s.Projection
+	schema := s.schema
+	return ec.RDD.NewBatchIterRDD(nil, snap.NumPartitions(), nil, func(_ *rdd.TaskContext, p int, _ vector.BatchIter) (vector.BatchIter, error) {
+		// First pass counts the partition's visible rows (no decoding), so
+		// the column vectors are sized exactly once; the decode pass then
+		// writes by index — no growth, no bitmap appends.
+		nRows, err := snap.PartitionRowCount(p)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]*columnar.Vector, schema.Len())
+		i64s := make([][]int64, len(cols))
+		f64s := make([][]float64, len(cols))
+		strs := make([][]string, len(cols))
+		for i, f := range schema.Fields {
+			cols[i] = columnar.NewVector(f.Type)
+			cols[i].Resize(nRows)
+			// Pre-resolved lanes so the fill loop writes without a
+			// per-value method call or type switch on Type.
+			switch f.Type {
+			case sqltypes.Float64:
+				f64s[i] = cols[i].Float64s()
+			case sqltypes.String:
+				strs[i] = cols[i].Strings()
+			default:
+				i64s[i] = cols[i].Int64s()
+			}
+		}
+		i := 0
+		fill := func(row sqltypes.Row) bool {
+			for c, v := range row {
+				switch {
+				case v.T == sqltypes.Unknown:
+					cols[c].SetNull(i)
+				case i64s[c] != nil:
+					i64s[c][i] = v.I
+				case f64s[c] != nil:
+					f64s[c][i] = v.F
+				default:
+					strs[c][i] = v.S
+				}
+			}
+			i++
+			return true
+		}
+		if proj == nil {
+			err = snap.ScanPartition(p, fill)
+		} else {
+			err = snap.ScanPartitionColumns(p, proj, fill)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &columnarSliceIter{cb: columnar.BatchOf(schema, cols), schema: schema}, nil
+	}), nil
+}

@@ -1,0 +1,29 @@
+package rdd
+
+import (
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// NewBatchIterRDD is the batch-at-a-time analogue of NewIterRDD: fn computes
+// each partition as a stream of column-major batches. The parent's rows are
+// viewed through vector.AsBatchIter — when the parent operator is itself
+// vectorized its batch stream is spliced through untouched, so chains of
+// batch operators pipeline columnar data with no row materialization; a
+// row-at-a-time parent is transparently gathered into batches at the
+// boundary. The returned RDD still satisfies the row Compute contract via a
+// row adapter, which is what shuffles and row operators consume.
+func (c *Context) NewBatchIterRDD(parent RDD, nParts int, parentSchema *sqltypes.Schema,
+	fn func(tc *TaskContext, partition int, in vector.BatchIter) (vector.BatchIter, error)) *IterRDD {
+	return c.NewIterRDD(parent, nParts, func(tc *TaskContext, p int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		var bi vector.BatchIter
+		if in != nil {
+			bi = vector.AsBatchIter(in, parentSchema, vector.DefaultBatchSize)
+		}
+		out, err := fn(tc, p, bi)
+		if err != nil {
+			return nil, err
+		}
+		return vector.NewRowIter(out), nil
+	})
+}

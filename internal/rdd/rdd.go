@@ -56,10 +56,14 @@ type Partitioner interface {
 }
 
 // HashPartitioner routes rows by the 64-bit hash of a key derived from the
-// row — the scheme the Indexed DataFrame uses on the indexed column.
+// row — the scheme the Indexed DataFrame uses on the indexed column. Either
+// Key (a value whose Hash64 routes the row) or Hash (a direct row hash,
+// which composite-key exchanges use to avoid materializing key bytes per
+// row) must be set; Hash wins when both are.
 type HashPartitioner struct {
-	N   int
-	Key func(sqltypes.Row) sqltypes.Value
+	N    int
+	Key  func(sqltypes.Row) sqltypes.Value
+	Hash func(sqltypes.Row) uint64
 }
 
 // NumPartitions implements Partitioner.
@@ -67,6 +71,9 @@ func (p *HashPartitioner) NumPartitions() int { return p.N }
 
 // PartitionFor implements Partitioner.
 func (p *HashPartitioner) PartitionFor(row sqltypes.Row) int {
+	if p.Hash != nil {
+		return int(p.Hash(row) % uint64(p.N))
+	}
 	return int(p.Key(row).Hash64() % uint64(p.N))
 }
 

@@ -59,6 +59,14 @@ func (t Type) Numeric() bool {
 // Integral reports whether t is an integer type.
 func (t Type) Integral() bool { return t == Int32 || t == Int64 }
 
+// IntLane reports whether t stores its payload in the int64 lane (and
+// compares by it): Bool, Int32, Int64 and Timestamp. The vectorized
+// kernels and the aggregate's integer-key fast path share this
+// classification.
+func (t Type) IntLane() bool {
+	return t == Bool || t == Int32 || t == Int64 || t == Timestamp
+}
+
 // Orderable reports whether values of t can be compared with < / >.
 func (t Type) Orderable() bool {
 	return t.Numeric() || t == String || t == Timestamp || t == Bool

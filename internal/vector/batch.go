@@ -1,0 +1,174 @@
+// Package vector implements the batch-at-a-time execution substrate: a
+// column-major Batch of ~1024 rows built on the columnar vector
+// representation, a BatchIter pull protocol, adapters to and from the
+// row-at-a-time sqltypes.RowIter, and the selection-vector application
+// kernel filters use.
+//
+// Batches flowing between operators are dense (no selection vector):
+// a filter materializes its survivors by gathering selected positions into
+// a reused output batch, so every downstream kernel runs branch-free over
+// contiguous rows. Batches returned by BatchIter.Next are owned by the
+// producer and may be overwritten by the following Next call; consumers
+// must finish with a batch (or copy out of it) before pulling the next.
+package vector
+
+import (
+	"fmt"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/sqltypes"
+)
+
+// DefaultBatchSize is the row count per batch. 1024 keeps a batch of a few
+// columns inside L2 while amortizing per-batch overheads; it is a multiple
+// of 64 so null-bitmap words stay aligned across zero-copy slices.
+const DefaultBatchSize = 1024
+
+// Batch is a column-major chunk of rows: equal-length typed vectors
+// positionally aligned with a schema.
+type Batch struct {
+	Schema *sqltypes.Schema
+	Cols   []*columnar.Vector
+	n      int
+}
+
+// NewBatch returns an empty batch for schema.
+func NewBatch(schema *sqltypes.Schema) *Batch {
+	cols := make([]*columnar.Vector, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = columnar.NewVector(f.Type)
+	}
+	return &Batch{Schema: schema, Cols: cols}
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// SetLen records the row count after columns were written directly
+// (kernel-style batch construction).
+func (b *Batch) SetLen(n int) { b.n = n }
+
+// Reset empties the batch for reuse, keeping column capacity.
+func (b *Batch) Reset() {
+	for i, c := range b.Cols {
+		c.Reset(b.Schema.Fields[i].Type)
+	}
+	b.n = 0
+}
+
+// AppendRow appends one row (values must match the schema's column types or
+// be NULL).
+func (b *Batch) AppendRow(row sqltypes.Row) error {
+	if len(row) != len(b.Cols) {
+		return fmt.Errorf("vector: row arity %d does not match batch arity %d", len(row), len(b.Cols))
+	}
+	for i, v := range row {
+		if err := b.Cols[i].Append(v); err != nil {
+			return err
+		}
+	}
+	b.n++
+	return nil
+}
+
+// Row materializes row i as a freshly allocated Row (it escapes the batch's
+// reuse contract, so adapters handing rows to row-at-a-time consumers use
+// this).
+func (b *Batch) Row(i int) sqltypes.Row {
+	row := make(sqltypes.Row, len(b.Cols))
+	for c, col := range b.Cols {
+		row[c] = col.Get(i)
+	}
+	return row
+}
+
+// RowInto materializes row i into dst (no allocation).
+func (b *Batch) RowInto(dst sqltypes.Row, i int) {
+	for c, col := range b.Cols {
+		dst[c] = col.Get(i)
+	}
+}
+
+// FromColumnar returns a zero-copy batch over rows [lo, hi) of a cached
+// columnar partition, optionally projecting the given column ordinals.
+// lo must be 64-aligned (see columnar.Vector.Slice).
+func FromColumnar(cb *columnar.Batch, lo, hi int, proj []int, schema *sqltypes.Schema) (*Batch, error) {
+	var cols []*columnar.Vector
+	if proj == nil {
+		cols = make([]*columnar.Vector, len(cb.Columns))
+		for i, c := range cb.Columns {
+			s, err := c.Slice(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = s
+		}
+	} else {
+		cols = make([]*columnar.Vector, len(proj))
+		for i, p := range proj {
+			s, err := cb.Columns[p].Slice(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = s
+		}
+	}
+	return &Batch{Schema: schema, Cols: cols, n: hi - lo}, nil
+}
+
+// SelectTrue appends to sel the positions of bools that are true (NULL and
+// false are dropped, SQL filter semantics) and returns the extended
+// selection vector.
+func SelectTrue(bools *columnar.Vector, sel []int) []int {
+	vals := bools.Int64s()
+	if !bools.AnyNulls() {
+		for i, v := range vals {
+			if v != 0 {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	}
+	for i, v := range vals {
+		if v != 0 && !bools.IsNull(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// Gather copies the rows of src selected by sel (in order) into dst,
+// resizing dst to len(sel) — the selection-vector application kernel.
+// dst must share src's column types.
+func Gather(dst, src *Batch, sel []int) {
+	for c, sc := range src.Cols {
+		dc := dst.Cols[c]
+		dc.Reset(sc.Type)
+		dc.Resize(len(sel))
+		switch sc.Type {
+		case sqltypes.Float64:
+			in, out := sc.Float64s(), dc.Float64s()
+			for i, s := range sel {
+				out[i] = in[s]
+			}
+		case sqltypes.String:
+			in, out := sc.Strings(), dc.Strings()
+			for i, s := range sel {
+				out[i] = in[s]
+			}
+		default:
+			in, out := sc.Int64s(), dc.Int64s()
+			for i, s := range sel {
+				out[i] = in[s]
+			}
+		}
+		if sc.AnyNulls() {
+			for i, s := range sel {
+				if sc.IsNull(s) {
+					dc.SetNull(i)
+				}
+			}
+		}
+	}
+	dst.n = len(sel)
+}

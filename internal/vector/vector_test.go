@@ -1,0 +1,260 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/sqltypes"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "b", Type: sqltypes.Bool, Nullable: true},
+		sqltypes.Field{Name: "i32", Type: sqltypes.Int32, Nullable: true},
+		sqltypes.Field{Name: "i64", Type: sqltypes.Int64, Nullable: true},
+		sqltypes.Field{Name: "f", Type: sqltypes.Float64, Nullable: true},
+		sqltypes.Field{Name: "s", Type: sqltypes.String, Nullable: true},
+		sqltypes.Field{Name: "ts", Type: sqltypes.Timestamp, Nullable: true},
+	)
+}
+
+// randomRows generates rows over every type with ~20% NULLs.
+func randomRows(rng *rand.Rand, n int) []sqltypes.Row {
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		row := make(sqltypes.Row, 6)
+		mk := []func() sqltypes.Value{
+			func() sqltypes.Value { return sqltypes.NewBool(rng.Intn(2) == 0) },
+			func() sqltypes.Value { return sqltypes.NewInt32(int32(rng.Intn(1000) - 500)) },
+			func() sqltypes.Value { return sqltypes.NewInt64(rng.Int63n(1_000_000) - 500_000) },
+			func() sqltypes.Value { return sqltypes.NewFloat64(rng.NormFloat64() * 100) },
+			func() sqltypes.Value { return sqltypes.NewString(fmt.Sprintf("v%d", rng.Intn(50))) },
+			func() sqltypes.Value { return sqltypes.NewTimestamp(rng.Int63n(1 << 40)) },
+		}
+		for c := range row {
+			if rng.Intn(5) == 0 {
+				row[c] = sqltypes.Null
+			} else {
+				row[c] = mk[c]()
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func rowsEqual(a, b []sqltypes.Row) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("row count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return fmt.Errorf("row %d arity %d != %d", i, len(a[i]), len(b[i]))
+		}
+		for c := range a[i] {
+			x, y := a[i][c], b[i][c]
+			if x.IsNull() != y.IsNull() {
+				return fmt.Errorf("row %d col %d null mismatch: %s vs %s", i, c, x, y)
+			}
+			if !x.IsNull() && (x.T != y.T || sqltypes.Compare(x, y) != 0) {
+				return fmt.Errorf("row %d col %d: %s (%s) != %s (%s)", i, c, x, x.T, y, y.T)
+			}
+		}
+	}
+	return nil
+}
+
+// TestAdapterRoundTrip drives rows -> batches -> rows across many sizes,
+// covering empty inputs, exact batch multiples and partial final batches.
+func TestAdapterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := testSchema()
+	for _, n := range []int{0, 1, 63, 64, 65, DefaultBatchSize - 1, DefaultBatchSize,
+		DefaultBatchSize + 1, 3*DefaultBatchSize + 17} {
+		rows := randomRows(rng, n)
+		bi := AsBatchIter(sqltypes.NewSliceIter(rows), schema, 0)
+		back, err := Drain(bi)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := rowsEqual(rows, back); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestPartialFinalBatch verifies batch boundaries: a non-multiple input
+// must produce full batches then one short batch.
+func TestPartialFinalBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	schema := testSchema()
+	rows := randomRows(rng, 2*DefaultBatchSize+5)
+	bi := AsBatchIter(sqltypes.NewSliceIter(rows), schema, 0)
+	var sizes []int
+	for {
+		b, err := bi.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		sizes = append(sizes, b.Len())
+		// The batch is reused; consume it before the next pull (Drain-like).
+	}
+	want := []int{DefaultBatchSize, DefaultBatchSize, 5}
+	if len(sizes) != len(want) {
+		t.Fatalf("batch sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("batch sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+// TestRowIterUnwrap checks that AsBatchIter splices the batch stream out of
+// a fresh row adapter instead of re-batching.
+func TestRowIterUnwrap(t *testing.T) {
+	schema := testSchema()
+	rows := randomRows(rand.New(rand.NewSource(9)), 100)
+	inner := AsBatchIter(sqltypes.NewSliceIter(rows), schema, 0)
+	adapter := NewRowIter(inner)
+	got := AsBatchIter(adapter, schema, 0)
+	if got != inner {
+		t.Fatal("fresh RowIter was not unwrapped to its inner BatchIter")
+	}
+	// After consuming a row, unwrapping must NOT splice (rows already gone).
+	adapter2 := NewRowIter(AsBatchIter(sqltypes.NewSliceIter(rows), schema, 0))
+	if _, err := adapter2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got2 := AsBatchIter(adapter2, schema, 0); got2 == inner {
+		t.Fatal("started RowIter must not be unwrapped")
+	}
+}
+
+// TestNullHandling pins null-bitmap behaviour through append, gather and
+// round trips.
+func TestNullHandling(t *testing.T) {
+	schema := sqltypes.NewSchema(sqltypes.Field{Name: "x", Type: sqltypes.Int64, Nullable: true})
+	b := NewBatch(schema)
+	for i := 0; i < 130; i++ {
+		v := sqltypes.NewInt64(int64(i))
+		if i%3 == 0 {
+			v = sqltypes.Null
+		}
+		if err := b.AppendRow(sqltypes.Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 130; i++ {
+		got := b.Cols[0].Get(i)
+		if (i%3 == 0) != got.IsNull() {
+			t.Fatalf("pos %d: null=%v", i, got.IsNull())
+		}
+	}
+	// Gather odd positions and re-check.
+	var sel []int
+	for i := 1; i < 130; i += 2 {
+		sel = append(sel, i)
+	}
+	dst := NewBatch(schema)
+	Gather(dst, b, sel)
+	if dst.Len() != len(sel) {
+		t.Fatalf("gathered %d rows, want %d", dst.Len(), len(sel))
+	}
+	for j, i := range sel {
+		want := b.Cols[0].Get(i)
+		got := dst.Cols[0].Get(j)
+		if want.IsNull() != got.IsNull() || (!want.IsNull() && want.I != got.I) {
+			t.Fatalf("gather pos %d: %s != %s", j, got, want)
+		}
+	}
+}
+
+// TestSelectTrue covers true/false/NULL predicate outcomes.
+func TestSelectTrue(t *testing.T) {
+	v := columnar.NewVector(sqltypes.Bool)
+	expect := []int{}
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			if err := v.Append(sqltypes.NewBool(true)); err != nil {
+				t.Fatal(err)
+			}
+			expect = append(expect, i)
+		case 1:
+			if err := v.Append(sqltypes.NewBool(false)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := v.Append(sqltypes.Null); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sel := SelectTrue(v, nil)
+	if len(sel) != len(expect) {
+		t.Fatalf("selected %d, want %d", len(sel), len(expect))
+	}
+	for i := range sel {
+		if sel[i] != expect[i] {
+			t.Fatalf("sel[%d] = %d, want %d", i, sel[i], expect[i])
+		}
+	}
+}
+
+// TestFromColumnarSlices verifies the zero-copy scan windows, including
+// null bits across word-aligned boundaries and a projection.
+func TestFromColumnarSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	schema := testSchema()
+	rows := randomRows(rng, 2500)
+	cb, err := columnar.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projSchema := schema.Project([]int{2, 4})
+	var got []sqltypes.Row
+	for lo := 0; lo < cb.NumRows(); lo += DefaultBatchSize {
+		hi := lo + DefaultBatchSize
+		if hi > cb.NumRows() {
+			hi = cb.NumRows()
+		}
+		b, err := FromColumnar(cb, lo, hi, []int{2, 4}, projSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			got = append(got, b.Row(i))
+		}
+	}
+	want := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		want[i] = sqltypes.Row{r[2], r[4]}
+	}
+	if err := rowsEqual(want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTrip is the property-style mirror of rowbatch_test.go:
+// arbitrary row counts and null patterns survive the adapter pair.
+func TestQuickRoundTrip(t *testing.T) {
+	schema := testSchema()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		rows := randomRows(rng, n)
+		back, err := Drain(AsBatchIter(sqltypes.NewSliceIter(rows), schema, 1+rng.Intn(2000)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rowsEqual(rows, back); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

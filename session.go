@@ -40,6 +40,9 @@ type Config struct {
 	// IndexBatchSize is the row-batch size for indexed tables in bytes
 	// (default 4 MB, the paper's value).
 	IndexBatchSize int
+	// DisableVectorized forces row-at-a-time execution, turning off the
+	// batch-at-a-time operator rewrite (benchmarks compare both engines).
+	DisableVectorized bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +83,7 @@ func NewSession(cfg Config) *Session {
 		planner: opt.NewPlanner(opt.PlannerConfig{
 			ShufflePartitions:  cfg.ShufflePartitions,
 			BroadcastThreshold: cfg.BroadcastThreshold,
+			DisableVectorized:  cfg.DisableVectorized,
 		}),
 		tables: make(map[string]catalog.Table),
 	}

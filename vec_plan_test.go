@@ -1,0 +1,173 @@
+package indexeddf_test
+
+import (
+	"strings"
+	"testing"
+
+	"indexeddf"
+)
+
+// TestVectorizedPlanShapes guards the planner wiring: hot operators must
+// actually lower to their vectorized forms (a silent fallback to the row
+// path would keep results correct but forfeit the speedup).
+func TestVectorizedPlanShapes(t *testing.T) {
+	sess := buildSession(t, indexeddf.Config{}, false)
+	ixSess := buildSession(t, indexeddf.Config{}, true)
+
+	explain := func(s *indexeddf.Session, build func(*indexeddf.Session) (*indexeddf.DataFrame, error)) string {
+		df, err := build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := df.Explain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	filterAgg := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		df, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		return df.Filter(indexeddf.Gt(indexeddf.Col("val"), indexeddf.Lit(float64(0)))).
+			GroupBy("grp").Count(), nil
+	}
+	plan := explain(sess, filterAgg)
+	for _, want := range []string{"VecFilter", "VecHashAggregate(partial)", "VecColumnarScan"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("vanilla filter+agg plan missing %s:\n%s", want, plan)
+		}
+	}
+	if !strings.Contains(plan, "HashAggregate(final)") {
+		t.Errorf("final aggregate phase should stay row-based:\n%s", plan)
+	}
+
+	plan = explain(ixSess, filterAgg)
+	if !strings.Contains(plan, "VecIndexedScan") {
+		t.Errorf("indexed filter+agg plan missing VecIndexedScan:\n%s", plan)
+	}
+
+	// A join whose output feeds a vectorized aggregate gets the vectorized
+	// probe; a join at the root (output collected as rows) stays row-based
+	// — the columnar detour would be wasted work there.
+	joinAgg := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		f, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Table("dims")
+		if err != nil {
+			return nil, err
+		}
+		return f.Join(d, indexeddf.Eq(indexeddf.Col("grp"), indexeddf.Col("gid"))).
+			GroupBy("label").Count(), nil
+	}
+	plan = explain(sess, joinAgg)
+	if !strings.Contains(plan, "VecBroadcastHashJoin") {
+		t.Errorf("vanilla join-under-agg plan missing VecBroadcastHashJoin:\n%s", plan)
+	}
+	plan = explain(ixSess, joinAgg)
+	if !strings.Contains(plan, "VecIndexedJoin") {
+		t.Errorf("indexed join-under-agg plan missing VecIndexedJoin:\n%s", plan)
+	}
+
+	join := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		f, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Table("dims")
+		if err != nil {
+			return nil, err
+		}
+		return f.Join(d, indexeddf.Eq(indexeddf.Col("grp"), indexeddf.Col("gid"))), nil
+	}
+	plan = explain(sess, join)
+	if strings.Contains(plan, "VecBroadcastHashJoin") {
+		t.Errorf("root join must stay row-based (output is collected):\n%s", plan)
+	}
+	plan = explain(ixSess, join)
+	if strings.Contains(plan, "VecIndexedJoin") {
+		t.Errorf("root indexed join must stay row-based (output is collected):\n%s", plan)
+	}
+
+	// Projection pushdown becomes a vectorized scan with pruned columns.
+	proj := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		df, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		return df.SelectCols("tag"), nil
+	}
+	plan = explain(sess, proj)
+	if !strings.Contains(plan, "VecColumnarScan facts cols=[3]") {
+		t.Errorf("projection pushdown lost in vectorized plan:\n%s", plan)
+	}
+
+	// A scalar function is not vectorizable: the Project must stay
+	// row-based while the scan beneath it still vectorizes.
+	fallback := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		df, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		return df.Select(indexeddf.Fn("UPPER", indexeddf.Col("tag"))), nil
+	}
+	plan = explain(sess, fallback)
+	if strings.Contains(plan, "VecProject") {
+		t.Errorf("UPPER projection must not vectorize:\n%s", plan)
+	}
+	if !strings.Contains(plan, "VecColumnarScan") {
+		t.Errorf("scan under row Project should still vectorize:\n%s", plan)
+	}
+
+	// Outer joins stay on the row operators.
+	outer := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		f, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Table("dims")
+		if err != nil {
+			return nil, err
+		}
+		return f.LeftJoin(d, indexeddf.Eq(indexeddf.Col("grp"), indexeddf.Col("gid"))), nil
+	}
+	plan = explain(sess, outer)
+	if strings.Contains(plan, "VecBroadcastHashJoin") || strings.Contains(plan, "VecShuffleHashJoin") {
+		t.Errorf("left outer join must not vectorize:\n%s", plan)
+	}
+
+	// Point-lookup-rooted subtrees are row-bound: a handful of rows per
+	// query, where vectorization overhead cannot amortize. The whole plan
+	// must stay row-at-a-time.
+	lookupJoin := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		f, err := s.Table("facts")
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Table("dims")
+		if err != nil {
+			return nil, err
+		}
+		return f.Filter(indexeddf.Eq(indexeddf.Col("grp"), indexeddf.Lit(int64(3)))).
+			Join(d, indexeddf.Eq(indexeddf.Col("grp"), indexeddf.Col("gid"))).
+			SelectCols("label", "val"), nil
+	}
+	plan = explain(ixSess, lookupJoin)
+	if !strings.Contains(plan, "IndexLookup") {
+		t.Errorf("expected an IndexLookup plan:\n%s", plan)
+	}
+	if strings.Contains(plan, "Vec") {
+		t.Errorf("point-lookup-rooted plan must stay row-at-a-time:\n%s", plan)
+	}
+
+	// DisableVectorized turns the rewrite off entirely.
+	rowSess := buildSession(t, indexeddf.Config{DisableVectorized: true}, false)
+	plan = explain(rowSess, filterAgg)
+	if strings.Contains(plan, "Vec") {
+		t.Errorf("DisableVectorized plan contains vectorized operators:\n%s", plan)
+	}
+}
