@@ -4,6 +4,7 @@
 //	benchrunner -fig 2        Figure 2 — SQL operators, IndexedDF vs Spark
 //	benchrunner -fig 3        Figure 3 — SNB simple reads SQ1–SQ7
 //	benchrunner -fig mem      §2 memory-overhead claim
+//	benchrunner -fig view     materialized views — delta refresh vs recompute
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -142,6 +143,14 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 			return err
 		}
 		return emit("mem", nil, r, false)
+	case "view":
+		ms, err := viewMaintenance(iters)
+		if err != nil {
+			return err
+		}
+		if err := emit("view", ms, nil, false); err != nil {
+			return err
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -164,9 +173,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 		if err := emit("mem", nil, mr, true); err != nil {
 			return err
 		}
+		mv, err := viewMaintenance(iters)
+		if err != nil {
+			return err
+		}
+		if err := emit("view", mv, nil, true); err != nil {
+			return err
+		}
+		// The §5 summary below compares IndexedDF vs vanilla Spark; the
+		// view measurements compare maintenance strategies, so they stay
+		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -179,6 +198,31 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 			best.Speedup(), best.Name)
 	}
 	return nil
+}
+
+func viewMaintenance(iters int) ([]bench.Measurement, error) {
+	fmt.Printf("\n== Materialized views: delta refresh vs full recompute (128 groups, 256-row update batches) ==\n")
+	var ms []bench.Measurement
+	for _, baseRows := range []int{1_000, 100_000} {
+		m, err := bench.ViewMaintenance(baseRows, 256, iters)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	printViewTable(ms)
+	return ms, nil
+}
+
+func printViewTable(ms []bench.Measurement) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "workload\tdelta refresh [ms]\tfull recompute [ms]\tspeedup\tgroups\t")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.2fx\t%d\t\n",
+			m.Name, msf(m.IndexedTime), msf(m.VanillaTime), m.Speedup(), m.IndexedRows)
+	}
+	w.Flush()
+	fmt.Println(strings.Repeat("-", 56))
 }
 
 func figure2(sf float64, seed int64, iters int, rowEngine bool) ([]bench.Measurement, error) {

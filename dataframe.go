@@ -318,6 +318,13 @@ func (df *DataFrame) Explain() (string, error) {
 	sb.WriteString(plan.TreeString(optimized))
 	sb.WriteString("== Physical Plan ==\n")
 	sb.WriteString(physical.TreeString(exec))
+	if views := opt.AnsweredFromView(exec); len(views) > 0 {
+		sb.WriteString("== Materialized Views ==\n")
+		for _, v := range views {
+			fmt.Fprintf(&sb, "answered from materialized view %q (base %s, version %d, delta-maintained)\n",
+				v.Name(), v.BaseName(), v.RefreshedVersion())
+		}
+	}
 	return sb.String(), nil
 }
 

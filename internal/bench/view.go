@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"indexeddf"
+)
+
+// ViewMaintenance measures incremental view maintenance against full
+// recomputation: a GROUP BY aggregate view over a base table of baseRows
+// rows receives `iters` update batches of deltaRows appends (plus a few
+// deletes); after each batch we time (a) the view's delta refresh and (b)
+// a forced full recompute of an identical sibling view. The Measurement
+// maps delta refresh to IndexedTime and full recompute to VanillaTime, so
+// Speedup() reads "delta refresh is Nx faster than recomputing".
+func ViewMaintenance(baseRows, deltaRows, iters int) (Measurement, error) {
+	sess := indexeddf.NewSession(indexeddf.Config{})
+	schema := indexeddf.NewSchema(
+		indexeddf.Field{Name: "id", Type: indexeddf.Int64},
+		indexeddf.Field{Name: "grp", Type: indexeddf.Int64},
+		indexeddf.Field{Name: "val", Type: indexeddf.Int64},
+	)
+	df, err := sess.CreateIndexedTable("events", schema, 0)
+	if err != nil {
+		return Measurement{}, err
+	}
+	const groups = 128
+	rows := make([]indexeddf.Row, 0, baseRows)
+	for i := 0; i < baseRows; i++ {
+		rows = append(rows, indexeddf.R(int64(i), int64(i%groups), int64(i)))
+	}
+	if _, err := df.AppendRowsSlice(rows); err != nil {
+		return Measurement{}, err
+	}
+
+	const def = "SELECT grp, COUNT(*) AS cnt, SUM(val) AS total, AVG(val) AS mean FROM events GROUP BY grp"
+	delta, err := sess.CreateMaterializedView("v_delta", def)
+	if err != nil {
+		return Measurement{}, err
+	}
+	full, err := sess.CreateMaterializedView("v_full", def)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	var deltaTimes, fullTimes []time.Duration
+	next := int64(baseRows)
+	for it := 0; it < iters; it++ {
+		batch := make([]indexeddf.Row, 0, deltaRows)
+		for i := 0; i < deltaRows; i++ {
+			batch = append(batch, indexeddf.R(next, next%groups, next))
+			next++
+		}
+		if _, err := df.AppendRowsSlice(batch); err != nil {
+			return Measurement{}, err
+		}
+		df.IndexedCore().Delete(indexeddf.V(next - 1 - int64(deltaRows)/2))
+
+		start := time.Now()
+		if err := delta.Refresh(); err != nil {
+			return Measurement{}, err
+		}
+		deltaTimes = append(deltaTimes, time.Since(start))
+
+		start = time.Now()
+		if err := full.Recompute(); err != nil {
+			return Measurement{}, err
+		}
+		fullTimes = append(fullTimes, time.Since(start))
+	}
+
+	if delta.RowCount() != full.RowCount() {
+		return Measurement{}, fmt.Errorf("bench: delta view has %d groups, full recompute %d",
+			delta.RowCount(), full.RowCount())
+	}
+	return Measurement{
+		Name:        fmt.Sprintf("view-refresh-%s-base", humanCount(baseRows)),
+		IndexedTime: median(deltaTimes),
+		VanillaTime: median(fullTimes),
+		IndexedRows: int(delta.RowCount()),
+	}, nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+func humanCount(n int) string {
+	if n >= 1000 && n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	return fmt.Sprint(n)
+}

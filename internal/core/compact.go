@@ -80,6 +80,15 @@ func (t *IndexedTable) compactPartition(pi int, part *Partition, onlyNewest bool
 	part.index = newIndex
 	part.batches = newBatches
 	part.keys.Store(keys)
+	part.deletes = 0 // rebuilt batches hold only index-reachable rows
 	t.rows.Add(kept - total)
+	if total != kept && t.capture.enabled.Load() {
+		// Compaction rewrites content without producing change records
+		// (onlyNewest drops overwritten chain rows outright), so any delta
+		// cursor crossing this point would silently miss those drops.
+		// Break the log: consumers detect the gap and fully recompute from
+		// a post-compact snapshot.
+		t.invalidateLogLocked(part)
+	}
 	return total - kept, nil
 }

@@ -23,6 +23,18 @@ type partSnapshot struct {
 	index   *ctrie.Ctrie[sqltypes.Value, rowbatch.Ptr]
 	marks   []int64
 	batches *rowbatch.Set
+	// changeMark is the partition's change-log sequence at snapshot time
+	// (-1 when capture was off): the snapshot's visible content in this
+	// partition is exactly the log prefix below changeMark, because both
+	// are pinned under the same partition lock. Incremental view refresh
+	// folds log records up to this mark and recomputes from this snapshot
+	// without double-counting in-flight mutations.
+	changeMark int64
+	// deletes is the partition's delete count at snapshot time. Zero means
+	// every batch row is index-reachable and scans may walk batches in
+	// append order; otherwise scans walk the frozen index so deleted
+	// (unreachable) rows stay invisible.
+	deletes int64
 }
 
 // Snapshot pins the table's current state. Cost is O(partitions), each
@@ -35,15 +47,25 @@ func (t *IndexedTable) Snapshot() *Snapshot {
 	}
 	for i, p := range t.parts {
 		p.mu.Lock() // pin a consistent (index, batches) pair across Compact
+		changeMark := int64(-1)
+		if t.capture.enabled.Load() {
+			changeMark = p.log.mark()
+		}
 		s.parts[i] = partSnapshot{
-			index:   p.index.ReadOnlySnapshot(),
-			marks:   p.batches.Watermarks(),
-			batches: p.batches,
+			index:      p.index.ReadOnlySnapshot(),
+			marks:      p.batches.Watermarks(),
+			batches:    p.batches,
+			changeMark: changeMark,
+			deletes:    p.deletes,
 		}
 		p.mu.Unlock()
 	}
 	return s
 }
+
+// ChangeMark returns partition p's change-log sequence at snapshot time,
+// or -1 when change capture was off.
+func (s *Snapshot) ChangeMark(p int) int64 { return s.parts[p].changeMark }
 
 // Version returns the table version the snapshot was taken at.
 func (s *Snapshot) Version() int64 { return s.version }
@@ -120,54 +142,98 @@ func (s *Snapshot) ChainEachInto(p int, ptr rowbatch.Ptr, row sqltypes.Row, fn f
 	return decodeErr
 }
 
-// ScanPartition iterates partition p's rows (append order) within the
-// snapshot, decoding full rows into a reused buffer.
+// ScanPartition iterates partition p's visible rows within the snapshot,
+// decoding full rows into a reused buffer. Partitions untouched by Delete
+// stream their batches in append order; otherwise the scan walks the
+// frozen index (trie order, chains newest first) so rows made unreachable
+// by Delete stay invisible to queries until compaction reclaims them.
 func (s *Snapshot) ScanPartition(p int, fn func(sqltypes.Row) bool) error {
 	row := make(sqltypes.Row, s.table.schema.Len())
-	var decodeErr error
-	err := s.parts[p].batches.Scan(s.parts[p].marks, func(_ rowbatch.Ptr, payload []byte) bool {
+	return s.scanPayloads(p, func(payload []byte) (bool, error) {
 		if err := s.table.codec.DecodeInto(payload, row); err != nil {
-			decodeErr = err
-			return false
+			return false, err
 		}
-		return fn(row)
+		return fn(row), nil
 	})
-	if err != nil {
-		return err
-	}
-	return decodeErr
 }
 
 // ScanPartitionColumns iterates partition p decoding only the requested
 // columns (the row-store projection path).
 func (s *Snapshot) ScanPartitionColumns(p int, cols []int, fn func(sqltypes.Row) bool) error {
 	row := make(sqltypes.Row, len(cols))
-	var decodeErr error
-	err := s.parts[p].batches.Scan(s.parts[p].marks, func(_ rowbatch.Ptr, payload []byte) bool {
+	return s.scanPayloads(p, func(payload []byte) (bool, error) {
 		for i, c := range cols {
 			v, err := s.table.codec.DecodeColumn(payload, c)
 			if err != nil {
-				decodeErr = err
-				return false
+				return false, err
 			}
 			row[i] = v
 		}
-		return fn(row)
+		return fn(row), nil
 	})
+}
+
+// scanPayloads drives a partition scan over the visible row payloads,
+// picking the append-order batch walk when every row is reachable and the
+// index walk otherwise.
+func (s *Snapshot) scanPayloads(p int, fn func(payload []byte) (bool, error)) error {
+	var innerErr error
+	visit := func(payload []byte) bool {
+		cont, err := fn(payload)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return cont
+	}
+	var err error
+	if s.parts[p].deletes == 0 {
+		err = s.parts[p].batches.Scan(s.parts[p].marks, func(_ rowbatch.Ptr, payload []byte) bool {
+			return visit(payload)
+		})
+	} else {
+		err = s.scanReachable(p, visit)
+	}
 	if err != nil {
 		return err
 	}
-	return decodeErr
+	return innerErr
+}
+
+// scanReachable walks partition p's frozen index, streaming every payload
+// reachable through a chain. Stops early when visit returns false.
+func (s *Snapshot) scanReachable(p int, visit func(payload []byte) bool) error {
+	var chainErr error
+	stopped := false
+	s.parts[p].index.Iterate(func(_ sqltypes.Value, head rowbatch.Ptr) bool {
+		err := s.parts[p].batches.Chain(head, func(_ rowbatch.Ptr, payload []byte) bool {
+			if !visit(payload) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			chainErr = err
+			return false
+		}
+		return !stopped
+	})
+	return chainErr
 }
 
 // PartitionRowCount counts the rows visible in partition p without
 // decoding them — the vectorized scan's sizing pass.
 func (s *Snapshot) PartitionRowCount(p int) (int, error) {
 	n := 0
-	err := s.parts[p].batches.Scan(s.parts[p].marks, func(rowbatch.Ptr, []byte) bool {
-		n++
-		return true
-	})
+	if s.parts[p].deletes == 0 {
+		err := s.parts[p].batches.Scan(s.parts[p].marks, func(rowbatch.Ptr, []byte) bool {
+			n++
+			return true
+		})
+		return n, err
+	}
+	err := s.scanReachable(p, func([]byte) bool { n++; return true })
 	return n, err
 }
 
@@ -175,13 +241,11 @@ func (s *Snapshot) PartitionRowCount(p int) (int, error) {
 func (s *Snapshot) RowCount() (int64, error) {
 	var n int64
 	for p := range s.parts {
-		err := s.parts[p].batches.Scan(s.parts[p].marks, func(rowbatch.Ptr, []byte) bool {
-			n++
-			return true
-		})
+		pn, err := s.PartitionRowCount(p)
 		if err != nil {
 			return 0, err
 		}
+		n += int64(pn)
 	}
 	return n, nil
 }

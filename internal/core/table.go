@@ -43,6 +43,12 @@ type Partition struct {
 	index   *ctrie.Ctrie[sqltypes.Value, rowbatch.Ptr]
 	batches *rowbatch.Set
 	keys    atomic.Int64 // distinct keys
+	log     partLog      // change records (guarded by mu; see changelog.go)
+	// deletes counts Delete() calls since creation/compaction (guarded by
+	// mu). When zero, every batch row is index-reachable and snapshot
+	// scans may walk batches in append order; otherwise they walk the
+	// index so unreachable (deleted) rows stay invisible to queries.
+	deletes int64
 }
 
 // IndexedTable is the Indexed DataFrame's storage: a set of indexed
@@ -54,6 +60,7 @@ type IndexedTable struct {
 	parts   []*Partition
 	version atomic.Int64
 	rows    atomic.Int64
+	capture changeCapture
 }
 
 // NewIndexedTable creates an empty IndexedTable indexed on schema column
@@ -135,10 +142,13 @@ func (t *IndexedTable) Append(rows []sqltypes.Row) error {
 	if len(rows) == 1 {
 		// Fast path for fine-grained appends: no routing allocation.
 		p := t.PartitionFor(rows[0][t.keyCol])
-		if err := t.AppendToPartition(p, rows); err != nil {
+		logged, err := t.appendToPartition(p, rows)
+		if err != nil {
 			return err
 		}
-		t.version.Add(1)
+		if !logged {
+			t.version.Add(1)
+		}
 		return nil
 	}
 	routed := make([][]sqltypes.Row, n)
@@ -149,43 +159,77 @@ func (t *IndexedTable) Append(rows []sqltypes.Row) error {
 		p := t.PartitionFor(row[t.keyCol])
 		routed[p] = append(routed[p], row)
 	}
+	logged := false
 	for p, part := range routed {
 		if len(part) == 0 {
 			continue
 		}
-		if err := t.AppendToPartition(p, part); err != nil {
+		l, err := t.appendToPartition(p, part)
+		if err != nil {
 			return err
 		}
+		logged = logged || l
 	}
-	t.version.Add(1)
+	if !logged {
+		t.version.Add(1)
+	}
 	return nil
 }
 
 // AppendToPartition appends pre-routed rows to partition p. Every row's
 // key must hash to p (the shuffle-based index build guarantees this).
 func (t *IndexedTable) AppendToPartition(p int, rows []sqltypes.Row) error {
+	_, err := t.appendToPartition(p, rows)
+	return err
+}
+
+// appendToPartition applies the physical append under the partition lock
+// and, when change capture is on, logs the change record under the same
+// lock (bumping the table version); logged reports whether it did. The
+// capture flag is read inside the lock so a snapshot taken after capture
+// is enabled can never observe rows that are neither in its content nor in
+// the change log it pins.
+func (t *IndexedTable) appendToPartition(p int, rows []sqltypes.Row) (logged bool, err error) {
 	part := t.parts[p]
 	part.mu.Lock()
 	defer part.mu.Unlock()
+	capture := t.capture.enabled.Load()
+	applied := 0
 	var buf []byte
 	for _, row := range rows {
 		key := NormalizeKey(row[t.keyCol])
 		prev, _ := part.index.Lookup(key)
-		var err error
 		buf, err = t.codec.Encode(buf[:0], row)
 		if err != nil {
-			return fmt.Errorf("core: partition %d: %v", p, err)
+			err = fmt.Errorf("core: partition %d: %v", p, err)
+			break
 		}
-		ptr, err := part.batches.Append(prev, buf)
+		var ptr rowbatch.Ptr
+		ptr, err = part.batches.Append(prev, buf)
 		if err != nil {
-			return fmt.Errorf("core: partition %d: %v", p, err)
+			err = fmt.Errorf("core: partition %d: %v", p, err)
+			break
 		}
 		if _, had := part.index.Swap(key, ptr); !had {
 			part.keys.Add(1)
 		}
 		t.rows.Add(1)
+		applied++
 	}
-	return nil
+	if err != nil {
+		if capture && applied > 0 {
+			// Part of the batch is physically visible but cannot be logged
+			// as the caller's batch; break the log so delta consumers
+			// recompute instead of silently missing the applied prefix.
+			t.invalidateLogLocked(part)
+		}
+		return false, err
+	}
+	if capture {
+		t.logAppendLocked(part, rows)
+		return true, nil
+	}
+	return false, nil
 }
 
 // Delete removes the index entry for key, making its rows unreachable
@@ -197,10 +241,29 @@ func (t *IndexedTable) Delete(key sqltypes.Value) bool {
 	p := t.parts[t.PartitionFor(key)]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	capture := t.capture.enabled.Load()
+	var removedRows []sqltypes.Row
+	if capture {
+		// Views subtract the removed rows from their accumulators, so the
+		// change record carries the key's whole chain at removal time.
+		rows, err := t.collectChainLocked(p, key)
+		if err != nil {
+			// Undecodable chain: a per-row record would be wrong, so break
+			// the log instead — consumers fall back to full recompute.
+			t.invalidateLogLocked(p)
+			capture = false
+		}
+		removedRows = rows
+	}
 	_, removed := p.index.Remove(key)
 	if removed {
 		p.keys.Add(-1)
-		t.version.Add(1)
+		p.deletes++
+		if capture {
+			t.logDeleteLocked(p, key, removedRows)
+		} else {
+			t.version.Add(1)
+		}
 	}
 	return removed
 }

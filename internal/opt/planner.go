@@ -21,6 +21,13 @@ type PlannerConfig struct {
 	// forcing row-at-a-time execution everywhere (benchmarks use it to
 	// measure the vectorized engine against the row engine).
 	DisableVectorized bool
+	// Views is the session's materialized-view registry; aggregations
+	// matching a registered view plan as a scan of its maintained state.
+	// nil disables the rewrite.
+	Views *catalog.ViewRegistry
+	// DisableViewRewrite turns off the materialized-view rewrite even when
+	// views are registered (the escape hatch mirroring DisableVectorized).
+	DisableViewRewrite bool
 }
 
 // DefaultPlannerConfig mirrors small-cluster Spark defaults scaled to one
@@ -113,6 +120,18 @@ func (pl *Planner) planScan(r *plan.Relation, projection []int, outSchema *sqlty
 		return physical.NewColumnarScan(t, projection, outSchema), nil
 	case *catalog.IndexedTable:
 		return physical.NewIndexedScan(t, projection, outSchema), nil
+	case catalog.MaterializedView:
+		// Querying a view by name: compose the view's visible-column
+		// mapping with any pushed-down projection.
+		out := t.OutCols()
+		cols := out
+		if projection != nil {
+			cols = make([]int, len(projection))
+			for i, c := range projection {
+				cols[i] = out[c]
+			}
+		}
+		return physical.NewViewScan(t, cols, outSchema), nil
 	default:
 		return nil, fmt.Errorf("opt: unknown table type %T", r.Table)
 	}
@@ -336,8 +355,13 @@ func (pl *Planner) tryIndexedJoin(j *plan.Join, pairs []equiPair, residual expr.
 	return nil, false, nil
 }
 
-// planAggregate lowers an aggregation to partial/exchange/final.
+// planAggregate lowers an aggregation to partial/exchange/final — unless a
+// registered materialized view already maintains exactly this aggregation,
+// in which case it plans as a scan of the view's state (see viewrewrite.go).
 func (pl *Planner) planAggregate(a *plan.Aggregate) (physical.Exec, error) {
+	if exec, ok := pl.tryViewScan(a); ok {
+		return exec, nil
+	}
 	child, err := pl.plan(a.Child)
 	if err != nil {
 		return nil, err

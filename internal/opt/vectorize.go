@@ -42,6 +42,14 @@ func vectorize(e physical.Exec, batchSink bool) physical.Exec {
 			return physical.NewVecIndexedScan(t.Table, t.Projection, t.Schema())
 		}
 		return t
+	case *physical.ViewScanExec:
+		// View state is already aggregated (small); batch it only when the
+		// parent actually consumes batches (a HAVING filter, projection or
+		// join over the view-answered aggregate).
+		if batchSink {
+			return physical.NewVecViewScan(t.View, t.Cols, t.Schema())
+		}
+		return t
 	case *physical.FilterExec:
 		if expr.CanVectorize(t.Cond) {
 			return physical.NewVecFilter(vectorize(t.Child, true), t.Cond)

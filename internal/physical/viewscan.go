@@ -1,0 +1,111 @@
+package physical
+
+import (
+	"fmt"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// ---------------------------------------------------------------------------
+// ViewScan — answer an aggregation from a materialized view's state
+//
+// The planner's view-matching rewrite replaces a whole
+// scan→filter→aggregate pipeline with this operator: a refresh (folding
+// only the base table's delta since the last refresh) followed by a read
+// of the per-group accumulator state — O(changed rows + groups) instead of
+// O(table).
+
+// ViewScanExec reads a materialized view, refreshing it first so results
+// are consistent with a base snapshot taken at execution time.
+type ViewScanExec struct {
+	View catalog.MaterializedView
+	// Cols are state-layout ordinals (groups first, then aggregates) of
+	// the output columns; nil = the full state layout.
+	Cols   []int
+	schema *sqltypes.Schema
+}
+
+// NewViewScan builds a view scan producing outSchema.
+func NewViewScan(v catalog.MaterializedView, cols []int, outSchema *sqltypes.Schema) *ViewScanExec {
+	return &ViewScanExec{View: v, Cols: cols, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (s *ViewScanExec) Schema() *sqltypes.Schema { return s.schema }
+
+// Children implements Exec.
+func (s *ViewScanExec) Children() []Exec { return nil }
+
+func (s *ViewScanExec) String() string {
+	return fmt.Sprintf("ViewScan %s (materialized, base=%s, delta-maintained)", s.View.Name(), s.View.BaseName())
+}
+
+// Execute implements Exec.
+func (s *ViewScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	rows, err := viewRows(s.View, s.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return ec.RDD.NewSliceRDD([][]sqltypes.Row{rows}), nil
+}
+
+// viewRows refreshes the view and projects its state rows onto cols.
+func viewRows(v catalog.MaterializedView, cols []int) ([]sqltypes.Row, error) {
+	state, err := v.RefreshRows()
+	if err != nil {
+		return nil, fmt.Errorf("physical: refreshing view %s: %w", v.Name(), err)
+	}
+	if cols == nil {
+		return state, nil
+	}
+	out := make([]sqltypes.Row, len(state))
+	for i, r := range state {
+		pr := make(sqltypes.Row, len(cols))
+		for j, c := range cols {
+			pr[j] = r[c]
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// VecViewScan — the batch form, for vectorized consumers (HAVING filters,
+// projections and joins above a view-answered aggregate).
+
+// VecViewScanExec is the vectorized ViewScanExec.
+type VecViewScanExec struct {
+	View   catalog.MaterializedView
+	Cols   []int
+	schema *sqltypes.Schema
+}
+
+// NewVecViewScan builds a vectorized view scan.
+func NewVecViewScan(v catalog.MaterializedView, cols []int, outSchema *sqltypes.Schema) *VecViewScanExec {
+	return &VecViewScanExec{View: v, Cols: cols, schema: outSchema}
+}
+
+// Schema implements Exec.
+func (s *VecViewScanExec) Schema() *sqltypes.Schema { return s.schema }
+
+// Children implements Exec.
+func (s *VecViewScanExec) Children() []Exec { return nil }
+
+func (s *VecViewScanExec) String() string {
+	return fmt.Sprintf("VecViewScan %s (materialized, base=%s, delta-maintained)", s.View.Name(), s.View.BaseName())
+}
+
+// Execute implements Exec.
+func (s *VecViewScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	rows, err := viewRows(s.View, s.Cols)
+	if err != nil {
+		return nil, err
+	}
+	schema := s.schema
+	return ec.RDD.NewBatchIterRDD(nil, 1, nil, func(_ *rdd.TaskContext, _ int, _ vector.BatchIter) (vector.BatchIter, error) {
+		return batchRows(rows, nil, schema), nil
+	}), nil
+}

@@ -44,7 +44,8 @@ var keywords = map[string]bool{
 	"AVG": true, "DISTINCT": true, "UNION": true, "ALL": true, "TRUE": true,
 	"FALSE": true, "CAST": true, "CROSS": true, "BETWEEN": true, "IN": true,
 	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"END": true,
+	"END": true, "CREATE": true, "DROP": true, "REFRESH": true,
+	"MATERIALIZED": true, "VIEW": true,
 }
 
 // lex tokenizes the input.

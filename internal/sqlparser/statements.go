@@ -1,0 +1,115 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"indexeddf/internal/plan"
+)
+
+// StatementKind classifies a parsed SQL statement.
+type StatementKind uint8
+
+// Statement kinds.
+const (
+	// StmtSelect is a query; Statement.Select holds the logical plan.
+	StmtSelect StatementKind = iota
+	// StmtCreateView is CREATE MATERIALIZED VIEW name AS SELECT ...
+	StmtCreateView
+	// StmtDropView is DROP MATERIALIZED VIEW name.
+	StmtDropView
+	// StmtRefreshView is REFRESH MATERIALIZED VIEW name.
+	StmtRefreshView
+)
+
+// Statement is one parsed SQL statement: either a query or a
+// materialized-view DDL command.
+type Statement struct {
+	Kind StatementKind
+	// Select is the query plan (StmtSelect, and the defining query of
+	// StmtCreateView).
+	Select plan.Node
+	// ViewName is the view the DDL statement addresses.
+	ViewName string
+	// ViewSQL is the original text of the defining SELECT
+	// (StmtCreateView).
+	ViewSQL string
+}
+
+// ParseStatement compiles one SQL statement: SELECT queries (see Parse)
+// plus the materialized-view DDL verbs
+// CREATE MATERIALIZED VIEW name AS SELECT ...,
+// DROP MATERIALIZED VIEW name and REFRESH MATERIALIZED VIEW name.
+func ParseStatement(query string, resolve Resolver) (*Statement, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, resolve: resolve}
+
+	expectViewName := func(verb string) (string, error) {
+		if _, err := p.expect(tkKeyword, "MATERIALIZED"); err != nil {
+			return "", fmt.Errorf("sqlparser: %s supports only MATERIALIZED VIEW: %v", verb, err)
+		}
+		if _, err := p.expect(tkKeyword, "VIEW"); err != nil {
+			return "", err
+		}
+		t, err := p.expect(tkIdent, "")
+		if err != nil {
+			return "", fmt.Errorf("sqlparser: expected view name: %v", err)
+		}
+		return t.text, nil
+	}
+
+	switch {
+	case p.accept(tkKeyword, "CREATE"):
+		name, err := expectViewName("CREATE")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		selStart := p.peek().pos
+		node, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{
+			Kind:     StmtCreateView,
+			Select:   node,
+			ViewName: name,
+			ViewSQL:  strings.TrimSpace(query[selStart:]),
+		}, nil
+	case p.accept(tkKeyword, "DROP"):
+		name, err := expectViewName("DROP")
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{Kind: StmtDropView, ViewName: name}, nil
+	case p.accept(tkKeyword, "REFRESH"):
+		name, err := expectViewName("REFRESH")
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{Kind: StmtRefreshView, ViewName: name}, nil
+	default:
+		node, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{Kind: StmtSelect, Select: node}, nil
+	}
+}

@@ -1,0 +1,245 @@
+package view
+
+import (
+	"fmt"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/core"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/plan"
+	"indexeddf/internal/sqltypes"
+)
+
+// Def is a view's definition: a bound aggregate query over one indexed
+// base table. All expressions are bound against the base table schema
+// (ordinals address base rows directly), which makes both maintenance
+// (evaluate on logged rows) and matching (ordinal-canonical comparison,
+// insensitive to table aliases) cheap.
+type Def struct {
+	// Name is the view's catalog name.
+	Name string
+	// SQL is the defining SELECT text (SHOW/EXPLAIN/docs).
+	SQL string
+	// Base is the indexed table the view aggregates over.
+	Base *core.IndexedTable
+	// BaseName is the base table's catalog name.
+	BaseName string
+	// Filter is the WHERE predicate bound against the base schema; nil
+	// when absent.
+	Filter expr.Expr
+	// Groups are the bound GROUP BY expressions.
+	Groups []expr.Expr
+	// Aggs are the aggregates with bound arguments.
+	Aggs []expr.Agg
+	// Schema is the view's visible schema in SELECT-list order.
+	Schema *sqltypes.Schema
+	// StateSchema is the internal layout: group columns then aggregate
+	// columns.
+	StateSchema *sqltypes.Schema
+	// Out maps each visible column to its StateSchema ordinal.
+	Out []int
+
+	// canonical forms, precomputed for matching
+	canonFilter string
+	canonGroups []string
+	canonAggs   []string
+}
+
+func (d *Def) validate() error {
+	if d.Base == nil {
+		return fmt.Errorf("view: %q has no base table", d.Name)
+	}
+	if len(d.Groups) == 0 && len(d.Aggs) == 0 {
+		return fmt.Errorf("view: %q computes nothing", d.Name)
+	}
+	return nil
+}
+
+// finish precomputes canonical forms and the state schema.
+func (d *Def) finish() {
+	d.canonFilter = Canon(d.Filter)
+	d.canonGroups = make([]string, len(d.Groups))
+	for i, g := range d.Groups {
+		d.canonGroups[i] = Canon(g)
+	}
+	d.canonAggs = make([]string, len(d.Aggs))
+	for i, a := range d.Aggs {
+		d.canonAggs[i] = canonAgg(a)
+	}
+	if d.StateSchema == nil {
+		fields := make([]sqltypes.Field, 0, len(d.Groups)+len(d.Aggs))
+		for i, g := range d.Groups {
+			fields = append(fields, sqltypes.Field{Name: fmt.Sprintf("g%d", i), Type: g.Type(), Nullable: true})
+		}
+		for i, a := range d.Aggs {
+			fields = append(fields, sqltypes.Field{Name: fmt.Sprintf("a%d", i), Type: a.ResultType(), Nullable: true})
+		}
+		d.StateSchema = sqltypes.NewSchema(fields...)
+	}
+}
+
+// Matches reports whether an aggregation with the given shape is answered
+// by this definition: same base table, identical filter, identical group
+// list (same order), and every requested aggregate present in the view
+// (the view may maintain more). cols returns the state ordinals of the
+// output columns, groups first then the requested aggregates in order.
+func (d *Def) Matches(base *core.IndexedTable, filter expr.Expr, groups []expr.Expr, aggs []expr.Agg) ([]int, bool) {
+	if base != d.Base {
+		return nil, false
+	}
+	if Canon(filter) != d.canonFilter {
+		return nil, false
+	}
+	if len(groups) != len(d.Groups) {
+		return nil, false
+	}
+	for i, g := range groups {
+		if Canon(g) != d.canonGroups[i] {
+			return nil, false
+		}
+	}
+	cols := make([]int, 0, len(groups)+len(aggs))
+	for i := range groups {
+		cols = append(cols, i)
+	}
+	for _, a := range aggs {
+		want := canonAgg(a)
+		found := -1
+		for j, c := range d.canonAggs {
+			if c == want {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		cols = append(cols, len(d.Groups)+found)
+	}
+	return cols, true
+}
+
+// Canon renders a bound expression in alias-insensitive canonical form:
+// column references print as their ordinal, aliases are stripped. Two
+// bound expressions over the same base schema are semantically identical
+// iff their canonical strings are equal (modulo commutativity, which we
+// deliberately do not normalize).
+func Canon(e expr.Expr) string {
+	if e == nil {
+		return ""
+	}
+	c, err := expr.Transform(e, func(n expr.Expr) (expr.Expr, error) {
+		switch t := n.(type) {
+		case *expr.Bound:
+			return expr.B(t.Ordinal, t.T, fmt.Sprintf("$%d", t.Ordinal)), nil
+		case *expr.Alias:
+			return t.E, nil
+		}
+		return n, nil
+	})
+	if err != nil {
+		return e.String()
+	}
+	return c.String()
+}
+
+func canonAgg(a expr.Agg) string {
+	if a.Func == expr.CountStarAgg {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, Canon(a.Arg))
+}
+
+// ---------------------------------------------------------------------------
+// Definition extraction from logical plans
+
+// DefFromPlan pattern-matches an analyzed, optimized logical plan into a
+// view definition. The supported shape is exactly what the view engine
+// maintains incrementally:
+//
+//	[Project over] Aggregate over [Filter over] Relation(IndexedTable)
+//
+// where the projection only renames/reorders the aggregate's outputs.
+// Anything else (joins, HAVING, ORDER BY, LIMIT, derived tables, vanilla
+// column tables) is rejected with a descriptive error.
+func DefFromPlan(name, sql string, n plan.Node) (Def, error) {
+	bad := func(why string) (Def, error) {
+		return Def{}, fmt.Errorf("view: unsupported query for materialized view %q: %s (want SELECT <group cols, aggregates> FROM <indexed table> [WHERE ...] GROUP BY ...)", name, why)
+	}
+
+	node := n
+	var proj *plan.Project
+	if p, ok := node.(*plan.Project); ok {
+		proj = p
+		node = p.Child
+	}
+	agg, ok := node.(*plan.Aggregate)
+	if !ok {
+		return bad(fmt.Sprintf("top-level operator is %T, not an aggregation", node))
+	}
+	child := agg.Child
+	var filter expr.Expr
+	if f, ok := child.(*plan.Filter); ok {
+		filter = f.Cond
+		child = f.Child
+	}
+	rel, ok := child.(*plan.Relation)
+	if !ok {
+		return bad(fmt.Sprintf("aggregation input is %T, not a base table", child))
+	}
+	it, ok := rel.Table.(*catalog.IndexedTable)
+	if !ok {
+		return bad(fmt.Sprintf("base table %q is not an Indexed DataFrame table", rel.Table.Name()))
+	}
+
+	d := Def{
+		Name:     name,
+		SQL:      sql,
+		Base:     it.Core(),
+		BaseName: it.Name(),
+		Filter:   filter,
+		Groups:   agg.Groups,
+		Aggs:     agg.Aggs,
+	}
+
+	// Map the projection onto the state layout (groups then aggs).
+	aggSchema := agg.Schema()
+	if proj == nil {
+		d.Out = make([]int, aggSchema.Len())
+		fields := make([]sqltypes.Field, aggSchema.Len())
+		for i, short := range aggSchema.ShortNames() {
+			d.Out[i] = i
+			f := aggSchema.Field(i)
+			fields[i] = sqltypes.Field{Name: short, Type: f.Type, Nullable: true}
+		}
+		d.Schema = sqltypes.NewSchema(fields...)
+	} else {
+		d.Out = make([]int, len(proj.Exprs))
+		fields := make([]sqltypes.Field, len(proj.Exprs))
+		for i, e := range proj.Exprs {
+			name := plan.OutputName(e, i)
+			b := unwrapBound(e)
+			if b == nil || b.Ordinal < 0 || b.Ordinal >= aggSchema.Len() {
+				return bad(fmt.Sprintf("select item %q is not a plain group column or aggregate", e))
+			}
+			d.Out[i] = b.Ordinal
+			fields[i] = sqltypes.Field{Name: name, Type: b.T, Nullable: true}
+		}
+		d.Schema = sqltypes.NewSchema(fields...)
+	}
+	d.finish()
+	if err := d.validate(); err != nil {
+		return Def{}, err
+	}
+	return d, nil
+}
+
+func unwrapBound(e expr.Expr) *expr.Bound {
+	switch t := e.(type) {
+	case *expr.Bound:
+		return t
+	case *expr.Alias:
+		return unwrapBound(t.E)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package view
+
+import (
+	"encoding/binary"
+	"math"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// appendKey appends a self-delimiting encoding of v to dst, used as the
+// group-state map key. Same grouping semantics as the execution engine's
+// hash aggregate: values group by (type, payload), NULLs group together.
+func appendKey(dst []byte, v sqltypes.Value) []byte {
+	dst = append(dst, byte(v.T))
+	switch v.T {
+	case sqltypes.Unknown: // NULL: tag only
+	case sqltypes.Float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		dst = append(dst, b[:]...)
+	case sqltypes.String:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(v.S)))
+		dst = append(dst, b[:]...)
+		dst = append(dst, v.S...)
+	default: // Bool, Int32, Int64, Timestamp share the integer payload
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}

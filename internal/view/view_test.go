@@ -1,0 +1,503 @@
+package view
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"indexeddf/internal/catalog"
+	"indexeddf/internal/core"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/sqltypes"
+)
+
+// Test fixture: table (k BIGINT key, grp BIGINT, val BIGINT), view
+// SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val), AVG(val) GROUP BY grp.
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "k", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "grp", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "val", Type: sqltypes.Int64, Nullable: true},
+	)
+}
+
+func row(k, grp int64, val sqltypes.Value) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt64(k), sqltypes.NewInt64(grp), val}
+}
+
+func i64(v int64) sqltypes.Value { return sqltypes.NewInt64(v) }
+
+func testDef(base *core.IndexedTable, filter expr.Expr) Def {
+	val := expr.B(2, sqltypes.Int64, "val")
+	return Def{
+		Name:     "v",
+		SQL:      "SELECT ...",
+		Base:     base,
+		BaseName: "t",
+		Filter:   filter,
+		Groups:   []expr.Expr{expr.B(1, sqltypes.Int64, "grp")},
+		Aggs: []expr.Agg{
+			{Func: expr.CountStarAgg, Name: "cnt"},
+			{Func: expr.SumAgg, Arg: val, Name: "sum"},
+			{Func: expr.MinAgg, Arg: val, Name: "min"},
+			{Func: expr.MaxAgg, Arg: val, Name: "max"},
+			{Func: expr.AvgAgg, Arg: val, Name: "avg"},
+		},
+	}
+}
+
+func newBase(t *testing.T) *core.IndexedTable {
+	t.Helper()
+	base, err := core.NewIndexedTable(testSchema(), 0, core.Options{NumPartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// oracle recomputes the view's expected rows from a live snapshot with an
+// independent implementation.
+func oracle(t *testing.T, base *core.IndexedTable, filter expr.Expr) map[int64][]sqltypes.Value {
+	t.Helper()
+	type st struct {
+		n, sum, nonNull int64
+		min, max        sqltypes.Value
+	}
+	groups := map[int64]*st{}
+	snap := base.Snapshot()
+	for p := 0; p < snap.NumPartitions(); p++ {
+		err := snap.ScanPartition(p, func(r sqltypes.Row) bool {
+			if filter != nil {
+				keep, err := expr.EvalPredicate(filter, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !keep {
+					return true
+				}
+			}
+			g := r[1].Int64Val()
+			s := groups[g]
+			if s == nil {
+				s = &st{}
+				groups[g] = s
+			}
+			s.n++
+			if !r[2].IsNull() {
+				v := r[2].Int64Val()
+				s.nonNull++
+				s.sum += v
+				if s.min.IsNull() || v < s.min.Int64Val() {
+					s.min = r[2]
+				}
+				if s.max.IsNull() || v > s.max.Int64Val() {
+					s.max = r[2]
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := map[int64][]sqltypes.Value{}
+	for g, s := range groups {
+		sum, avg := sqltypes.Null, sqltypes.Null
+		if s.nonNull > 0 {
+			sum = sqltypes.NewInt64(s.sum)
+			avg = sqltypes.NewFloat64(float64(s.sum) / float64(s.nonNull))
+		}
+		out[g] = []sqltypes.Value{sqltypes.NewInt64(s.n), sum, s.min, s.max, avg}
+	}
+	return out
+}
+
+func checkAgainstOracle(t *testing.T, v *View, base *core.IndexedTable, filter expr.Expr) {
+	t.Helper()
+	want := oracle(t, base, filter)
+	rows, err := v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("view has %d groups, oracle %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		g := r[0].Int64Val()
+		exp, ok := want[g]
+		if !ok {
+			t.Fatalf("unexpected group %d", g)
+		}
+		for i, w := range exp {
+			got := r[1+i]
+			if w.T == sqltypes.Float64 {
+				if got.IsNull() || math.Abs(got.Float64Val()-w.Float64Val()) > 1e-9 {
+					t.Fatalf("group %d agg %d = %v, want %v", g, i, got, w)
+				}
+				continue
+			}
+			if !sqltypes.Equal(got, w) && !(got.IsNull() && w.IsNull()) {
+				t.Fatalf("group %d agg %d = %v, want %v", g, i, got, w)
+			}
+		}
+	}
+}
+
+func TestViewInitialBuildAndDeltaAppend(t *testing.T) {
+	base := newBase(t)
+	for i := int64(0); i < 50; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%5, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, v, base, nil)
+	if v.Stats().FullRecomputes != 1 {
+		t.Fatalf("full recomputes = %d after build", v.Stats().FullRecomputes)
+	}
+
+	// Appends fold incrementally: no further full recomputes.
+	for i := int64(50); i < 80; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%7, i64(i * 2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAgainstOracle(t, v, base, nil)
+	st := v.Stats()
+	if st.FullRecomputes != 1 {
+		t.Fatalf("full recomputes = %d after delta refresh, want 1", st.FullRecomputes)
+	}
+	if st.DeltaRows != 30 {
+		t.Fatalf("delta rows folded = %d, want 30", st.DeltaRows)
+	}
+}
+
+func TestViewDeleteArithmeticAggs(t *testing.T) {
+	base := newBase(t)
+	for i := int64(0); i < 20; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%3, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{3, 7, 11} {
+		if !base.Delete(i64(k)) {
+			t.Fatalf("delete %d missed", k)
+		}
+	}
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewMinMaxDeleteRecomputesGroup(t *testing.T) {
+	base := newBase(t)
+	// Group 0 holds vals 0, 10, 20, 30; key == val/10.
+	for i := int64(0); i < 4; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, 0, i64(i * 10))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the current max: MIN/MAX must fall back to group recompute.
+	if !base.Delete(i64(3)) {
+		t.Fatal("delete missed")
+	}
+	checkAgainstOracle(t, v, base, nil)
+	if v.Stats().GroupRecomputes == 0 {
+		t.Fatal("expected a dirty-group recompute for the deleted max")
+	}
+	if v.Stats().FullRecomputes != 1 {
+		t.Fatalf("full recomputes = %d, want only the initial build", v.Stats().FullRecomputes)
+	}
+	// Delete a middle value: arithmetic aggs adjust, extremes recompute.
+	if !base.Delete(i64(1)) {
+		t.Fatal("delete missed")
+	}
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewGroupDisappearsAndReturns(t *testing.T) {
+	base := newBase(t)
+	if err := base.Append([]sqltypes.Row{row(1, 42, i64(5))}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Delete(i64(1))
+	rows, err := v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("group should disappear, got %d rows", len(rows))
+	}
+	if err := base.Append([]sqltypes.Row{row(2, 42, i64(9))}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewNullHandling(t *testing.T) {
+	base := newBase(t)
+	if err := base.Append([]sqltypes.Row{
+		row(1, 0, sqltypes.Null),
+		row(2, 0, sqltypes.Null),
+		row(3, 1, i64(7)),
+		row(4, 1, sqltypes.Null),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, v, base, nil)
+	base.Delete(i64(4)) // delete a null contribution
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewWithFilter(t *testing.T) {
+	base := newBase(t)
+	filter := expr.NewCmp(expr.Gt, expr.B(2, sqltypes.Int64, "val"), expr.LitInt64(10))
+	for i := int64(0); i < 30; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%4, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, filter), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, v, base, filter)
+	// Deletes of filtered-out rows must not disturb state.
+	base.Delete(i64(5))
+	base.Delete(i64(25))
+	checkAgainstOracle(t, v, base, filter)
+}
+
+func TestViewGlobalAggregate(t *testing.T) {
+	base := newBase(t)
+	def := testDef(base, nil)
+	def.Groups = nil
+	v, err := New(def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty table: exactly one row, COUNT 0, NULL everything else.
+	rows, err := v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int64Val() != 0 || !rows[0][1].IsNull() {
+		t.Fatalf("global agg over empty = %v", rows)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, 0, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err = v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int64Val() != 10 || rows[0][1].Int64Val() != 45 {
+		t.Fatalf("global agg = %v", rows)
+	}
+}
+
+func TestViewGlobalAggSurvivesEmptyThenRefill(t *testing.T) {
+	// Regression: a MIN/MAX delete over a global-aggregate view emptied
+	// the table (dirty recompute removed the single group); re-appends
+	// must revive it — the emitted row follows the state, not a stale
+	// order slot.
+	base := newBase(t)
+	def := testDef(base, nil)
+	def.Groups = nil
+	if err := base.Append([]sqltypes.Row{row(1, 0, i64(5))}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Delete(i64(1)) // MIN/MAX dirty; recompute over empty snapshot
+	rows, err := v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int64Val() != 0 {
+		t.Fatalf("empty global agg = %v", rows)
+	}
+	if err := base.Append([]sqltypes.Row{row(2, 0, i64(9))}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int64Val() != 1 || rows[0][2].Int64Val() != 9 {
+		t.Fatalf("refilled global agg = %v (count, min stale?)", rows)
+	}
+}
+
+func TestViewGroupChurnBoundsOrder(t *testing.T) {
+	// Regression: groups created and deleted over and over must not grow
+	// the internal emission order without bound.
+	base := newBase(t)
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			base.Delete(i64(i)) // kill the group again
+		}
+		if i%100 == 99 {
+			if _, err := v.RefreshRows(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := v.RefreshRows(); err != nil {
+		t.Fatal(err)
+	}
+	v.mu.Lock()
+	orderLen, liveGroups := len(v.order), len(v.state)
+	v.mu.Unlock()
+	if orderLen > 2*liveGroups+128 {
+		t.Fatalf("order grew to %d slots for %d live groups", orderLen, liveGroups)
+	}
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewCompactForcesRecompute(t *testing.T) {
+	base := newBase(t)
+	for i := int64(0); i < 10; i++ {
+		if err := base.Append([]sqltypes.Row{row(i%3, i%3, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Compact(true); err != nil { // keep newest row per key
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, v, base, nil)
+	if v.Stats().FullRecomputes < 2 {
+		t.Fatalf("full recomputes = %d, compact must force a rebuild", v.Stats().FullRecomputes)
+	}
+	// And delta maintenance works again after the re-anchor.
+	if err := base.Append([]sqltypes.Row{row(99, 9, i64(99))}); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Stats().FullRecomputes
+	checkAgainstOracle(t, v, base, nil)
+	if v.Stats().FullRecomputes != before {
+		t.Fatal("post-compact append should fold incrementally")
+	}
+}
+
+func TestViewMatchesCanonical(t *testing.T) {
+	base := newBase(t)
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, different display names (alias-insensitive).
+	groups := []expr.Expr{expr.B(1, sqltypes.Int64, "t.grp")}
+	aggs := []expr.Agg{
+		{Func: expr.SumAgg, Arg: expr.B(2, sqltypes.Int64, "t.val")},
+		{Func: expr.CountStarAgg},
+	}
+	cols, ok := v.MatchesAggregate(base, nil, groups, aggs)
+	if !ok {
+		t.Fatal("expected match")
+	}
+	// State layout: grp, cnt, sum, min, max, avg → want [0 2 1].
+	if fmt.Sprint(cols) != "[0 2 1]" {
+		t.Fatalf("cols = %v", cols)
+	}
+	// Different ordinal: no match.
+	if _, ok := v.MatchesAggregate(base, nil, []expr.Expr{expr.B(2, sqltypes.Int64, "grp")}, nil); ok {
+		t.Fatal("group on different column must not match")
+	}
+	// Unknown aggregate argument: no match.
+	if _, ok := v.MatchesAggregate(base, nil, groups, []expr.Agg{
+		{Func: expr.SumAgg, Arg: expr.B(1, sqltypes.Int64, "grp")},
+	}); ok {
+		t.Fatal("SUM over a different column must not match")
+	}
+	// Filter mismatch: no match.
+	f := expr.NewCmp(expr.Gt, expr.B(2, sqltypes.Int64, "val"), expr.LitInt64(1))
+	if _, ok := v.MatchesAggregate(base, f, groups, aggs); ok {
+		t.Fatal("filtered query must not match unfiltered view")
+	}
+}
+
+func TestViewLogPruning(t *testing.T) {
+	base := newBase(t)
+	reg := catalog.NewViewRegistry()
+	v, err := New(testDef(base, nil), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(v); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%5, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if n := base.ChangeLogSize(); n != 0 {
+		t.Fatalf("log retains %d records after refresh+prune", n)
+	}
+	checkAgainstOracle(t, v, base, nil)
+}
+
+func TestViewRowsSorted(t *testing.T) {
+	// Deterministic emission order sanity: groups come out in first-seen
+	// order; sorting them yields the oracle's key set.
+	base := newBase(t)
+	for i := int64(0); i < 30; i++ {
+		if err := base.Append([]sqltypes.Row{row(i, i%6, i64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(testDef(base, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := v.RefreshRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, r := range rows {
+		got = append(got, r[0].Int64Val())
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if fmt.Sprint(got) != "[0 1 2 3 4 5]" {
+		t.Fatalf("groups = %v", got)
+	}
+}

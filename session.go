@@ -43,6 +43,12 @@ type Config struct {
 	// DisableVectorized forces row-at-a-time execution, turning off the
 	// batch-at-a-time operator rewrite (benchmarks compare both engines).
 	DisableVectorized bool
+	// DisableViewRewrite stops the planner answering aggregations from
+	// materialized views, forcing from-scratch computation (the escape
+	// hatch mirroring DisableVectorized; equivalence tests and benchmarks
+	// compare both paths). Views can still be created, refreshed and
+	// queried by name.
+	DisableViewRewrite bool
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +71,8 @@ type Session struct {
 	ctx     *rdd.Context
 	planner *opt.Planner
 
+	views *catalog.ViewRegistry
+
 	mu     sync.RWMutex
 	tables map[string]catalog.Table
 	anon   int
@@ -77,6 +85,7 @@ func NewSession(cfg Config) *Session {
 	if cfg.Parallelism > 0 {
 		ctxOpts = append(ctxOpts, rdd.WithParallelism(cfg.Parallelism))
 	}
+	views := catalog.NewViewRegistry()
 	return &Session{
 		cfg: cfg,
 		ctx: rdd.NewContext(ctxOpts...),
@@ -84,7 +93,10 @@ func NewSession(cfg Config) *Session {
 			ShufflePartitions:  cfg.ShufflePartitions,
 			BroadcastThreshold: cfg.BroadcastThreshold,
 			DisableVectorized:  cfg.DisableVectorized,
+			Views:              views,
+			DisableViewRewrite: cfg.DisableViewRewrite,
 		}),
+		views:  views,
 		tables: make(map[string]catalog.Table),
 	}
 }
@@ -139,11 +151,19 @@ func (s *Session) Table(name string) (*DataFrame, error) {
 	return s.frame(plan.NewRelation(t, name)), nil
 }
 
-// DropTable removes a table from the catalog.
+// DropTable removes a table from the catalog (materialized views
+// registered under the name are dropped too, turning the base table's
+// change capture off when it was the last one).
 func (s *Session) DropTable(name string) {
 	s.mu.Lock()
 	delete(s.tables, name)
 	s.mu.Unlock()
+	if v, ok := s.views.Get(name); ok {
+		s.views.Drop(name)
+		if len(s.views.ForBase(v.Base())) == 0 {
+			v.Base().DisableChangeCapture()
+		}
+	}
 }
 
 // Tables lists registered table names.

@@ -3,13 +3,14 @@ package indexeddf
 import (
 	"fmt"
 
-	"indexeddf/internal/catalog"
+	"indexeddf/internal/plan"
 	"indexeddf/internal/sqlparser"
+	"indexeddf/internal/sqltypes"
 )
 
-// SQL compiles a SQL query against the session catalog and returns a lazy
-// DataFrame. Supported subset: SELECT [DISTINCT] exprs FROM t [AS a]
-// [INNER|LEFT [OUTER]|CROSS JOIN t2 ON cond]... [WHERE cond]
+// SQL compiles a SQL statement against the session catalog. Queries return
+// a lazy DataFrame. Supported query subset: SELECT [DISTINCT] exprs FROM t
+// [AS a] [INNER|LEFT [OUTER]|CROSS JOIN t2 ON cond]... [WHERE cond]
 // [GROUP BY exprs] [HAVING cond] [ORDER BY exprs [ASC|DESC]] [LIMIT n]
 // and UNION ALL chains; scalar functions UPPER/LOWER/LENGTH/ABS/CONCAT/
 // SUBSTR/YEAR/COALESCE, LIKE, BETWEEN, IN lists, IS [NOT] NULL, CAST;
@@ -17,19 +18,47 @@ import (
 //
 // Queries over Indexed DataFrame tables go through the same index-aware
 // optimizer rules as the DataFrame API: equality predicates and equi-joins
-// on indexed columns execute as index lookups and indexed joins.
+// on indexed columns execute as index lookups and indexed joins, and
+// aggregations matching a registered materialized view are answered from
+// the view's delta-maintained state.
+//
+// DDL: CREATE MATERIALIZED VIEW name AS SELECT ... registers an
+// incrementally maintained view; DROP MATERIALIZED VIEW name and REFRESH
+// MATERIALIZED VIEW name manage it. DDL statements execute eagerly and
+// return a one-row status DataFrame.
 func (s *Session) SQL(query string) (*DataFrame, error) {
-	node, err := sqlparser.Parse(query, func(name string) (catalog.Table, error) {
-		t, ok := s.LookupTable(name)
-		if !ok {
-			return nil, fmt.Errorf("indexeddf: table %q not found", name)
-		}
-		return t, nil
-	})
+	stmt, err := sqlparser.ParseStatement(query, s.resolveTable)
 	if err != nil {
 		return nil, err
 	}
-	return s.frame(node), nil
+	switch stmt.Kind {
+	case sqlparser.StmtSelect:
+		return s.frame(stmt.Select), nil
+	case sqlparser.StmtCreateView:
+		if _, err := s.createMaterializedView(stmt.ViewName, stmt.ViewSQL, stmt.Select); err != nil {
+			return nil, err
+		}
+		return s.statusFrame(fmt.Sprintf("created materialized view %s", stmt.ViewName)), nil
+	case sqlparser.StmtDropView:
+		if err := s.DropMaterializedView(stmt.ViewName); err != nil {
+			return nil, err
+		}
+		return s.statusFrame(fmt.Sprintf("dropped materialized view %s", stmt.ViewName)), nil
+	case sqlparser.StmtRefreshView:
+		if err := s.RefreshMaterializedView(stmt.ViewName); err != nil {
+			return nil, err
+		}
+		return s.statusFrame(fmt.Sprintf("refreshed materialized view %s", stmt.ViewName)), nil
+	default:
+		return nil, fmt.Errorf("indexeddf: unsupported statement kind %d", stmt.Kind)
+	}
+}
+
+// statusFrame wraps a DDL outcome as a one-row DataFrame.
+func (s *Session) statusFrame(msg string) *DataFrame {
+	schema := sqltypes.NewSchema(sqltypes.Field{Name: "status", Type: sqltypes.String})
+	rows := []sqltypes.Row{{sqltypes.NewString(msg)}}
+	return s.frame(plan.NewValues(schema, rows))
 }
 
 // MustSQL is SQL, panicking on parse errors (examples and tests).
