@@ -5,6 +5,7 @@
 //	benchrunner -fig 3        Figure 3 — SNB simple reads SQ1–SQ7
 //	benchrunner -fig mem      §2 memory-overhead claim
 //	benchrunner -fig view     materialized views — delta refresh vs recompute
+//	benchrunner -fig prepare  prepared statements — plan cache vs parse-per-call
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -151,6 +152,14 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 		if err := emit("view", ms, nil, false); err != nil {
 			return err
 		}
+	case "prepare":
+		ms, err := preparedStatements(iters)
+		if err != nil {
+			return err
+		}
+		if err := emit("prepare", ms, nil, false); err != nil {
+			return err
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -180,12 +189,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 		if err := emit("view", mv, nil, true); err != nil {
 			return err
 		}
+		mp, err := preparedStatements(iters)
+		if err != nil {
+			return err
+		}
+		if err := emit("prepare", mp, nil, true); err != nil {
+			return err
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -198,6 +214,27 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 			best.Speedup(), best.Name)
 	}
 	return nil
+}
+
+func preparedStatements(iters int) ([]bench.Measurement, error) {
+	fmt.Printf("\n== Prepared statements: plan-cache execution vs parse-per-call SQL (indexed point lookup) ==\n")
+	var ms []bench.Measurement
+	for _, baseRows := range []int{10_000, 100_000} {
+		m, err := bench.PreparedLookup(baseRows, iters)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "workload\tprepared [ms]\tad-hoc SQL [ms]\tspeedup\t")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\t\n",
+			m.Name, msf(m.IndexedTime), msf(m.VanillaTime), m.Speedup())
+	}
+	w.Flush()
+	fmt.Println(strings.Repeat("-", 56))
+	return ms, nil
 }
 
 func viewMaintenance(iters int) ([]bench.Measurement, error) {

@@ -5,15 +5,22 @@
 //
 //	go run ./cmd/sqlshell -sf 0.5 -indexed
 //
+// Results stream through the cursor API: rows print as partition tasks
+// complete, and Ctrl-C cancels the in-flight query (stopping its remaining
+// tasks) instead of killing the shell.
+//
 // Meta commands: \d (tables), \explain <query>, \q (quit).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -26,9 +33,11 @@ func main() {
 	sf := flag.Float64("sf", 0.5, "SNB scale factor to preload")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	indexed := flag.Bool("indexed", true, "also build indexed copies")
+	timeout := flag.Duration("timeout", 0, "session-wide query timeout (0 = none)")
+	maxRows := flag.Int("maxrows", 1000, "rows to display per query (0 = unlimited); counting continues past the cap")
 	flag.Parse()
 
-	sess := indexeddf.NewSession(indexeddf.Config{})
+	sess := indexeddf.NewSession(indexeddf.Config{QueryTimeout: *timeout})
 	d := snb.Generate(snb.Config{ScaleFactor: *sf, Seed: *seed})
 	if _, err := snb.Load(sess, d, *indexed); err != nil {
 		log.Fatal(err)
@@ -37,14 +46,19 @@ func main() {
 	if *indexed {
 		fmt.Printf(" + indexed copies")
 	}
-	fmt.Println("\ntype SQL, \\d for tables, \\explain <q> for plans, \\q to quit")
+	fmt.Println("\ntype SQL, \\d for tables, \\explain <q> for plans, \\q to quit (Ctrl-C cancels a running query)")
+
+	// Ctrl-C cancels the in-flight query's context instead of killing the
+	// shell; at the prompt it just prints a hint.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
 		fmt.Print("sql> ")
 		if !in.Scan() {
-			break
+			return
 		}
 		line := strings.TrimSpace(in.Text())
 		switch {
@@ -73,20 +87,65 @@ func main() {
 			}
 			fmt.Print(out)
 		default:
-			df, err := sess.SQL(line)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			start := time.Now()
-			out, err := df.Show(25)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			n, _ := df.Count()
-			fmt.Print(out)
-			fmt.Printf("(%d rows, %.2f ms)\n", n, float64(time.Since(start).Microseconds())/1000)
+			runQuery(sess, sigc, line, *maxRows)
 		}
+	}
+}
+
+// runQuery streams one statement's results (display capped at maxRows,
+// counting continues), cancelling on SIGINT.
+func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxRows int) {
+	// Drop any interrupt that arrived while idle at the prompt.
+	select {
+	case <-sigc:
+		fmt.Println(`interrupt (use \q to quit)`)
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-sigc:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	start := time.Now()
+	rows, err := sess.Query(ctx, query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+
+	names := rows.Schema().ShortNames()
+	fmt.Println("| " + strings.Join(names, " | ") + " |")
+	var n int64
+	for rows.Next() {
+		n++
+		if maxRows > 0 && n > int64(maxRows) {
+			if n == int64(maxRows)+1 {
+				fmt.Printf("... (display capped at %d rows — raise with -maxrows; still counting)\n", maxRows)
+			}
+			continue
+		}
+		row := rows.Row()
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println("| " + strings.Join(parts, " | ") + " |")
+	}
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	switch err := rows.Err(); {
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("cancelled after %d rows, %.2f ms\n", n, elapsed)
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("query timeout exceeded after %d rows, %.2f ms\n", n, elapsed)
+	case err != nil:
+		fmt.Println("error:", err)
+	default:
+		fmt.Printf("(%d rows, %.2f ms)\n", n, elapsed)
 	}
 }

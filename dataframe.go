@@ -1,6 +1,7 @@
 package indexeddf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -262,26 +263,68 @@ func (df *DataFrame) As(alias string) (*DataFrame, error) {
 
 // ---------------------------------------------------------------------------
 // Actions
+//
+// Query is the primitive: a streaming cursor under a caller context. The
+// batch actions (Collect, Count, First, Show) are compatibility shims that
+// run the cursor to completion under context.Background().
 
-// Collect executes the plan and returns all rows.
-func (df *DataFrame) Collect() ([]sqltypes.Row, error) { return df.sess.execute(df.node) }
+// Query executes the plan as a streaming cursor: rows are pulled
+// partition-at-a-time (batch-at-a-time inside vectorized subtrees) while
+// remaining partition tasks run in the background, so first-row latency is
+// decoupled from result size. Cancelling ctx — or exceeding its deadline,
+// or the session's Config.QueryTimeout — stops the remaining partition
+// tasks, shuffle stages and index scans promptly; the reason surfaces from
+// Rows.Err().
+func (df *DataFrame) Query(ctx context.Context) (*Rows, error) {
+	return df.sess.queryNode(ctx, df.node)
+}
 
-// Count executes the plan and returns the row count.
+// Collect executes the plan and returns all rows — Query under
+// context.Background() drained to a slice.
+func (df *DataFrame) Collect() ([]sqltypes.Row, error) {
+	return df.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a cancellation context.
+func (df *DataFrame) CollectContext(ctx context.Context) ([]sqltypes.Row, error) {
+	return df.sess.executeCtx(ctx, df.node)
+}
+
+// Count executes the plan and returns the row count, streaming the cursor
+// without materializing the result.
 func (df *DataFrame) Count() (int64, error) {
-	rows, err := df.Collect()
+	return df.CountContext(context.Background())
+}
+
+// CountContext is Count under a cancellation context.
+func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
+	rows, err := df.Query(ctx)
 	if err != nil {
 		return 0, err
 	}
-	return int64(len(rows)), nil
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
-// First returns the first row, or nil when empty.
+// First returns the first row, or nil when empty. The cursor stops the
+// scan as soon as the row arrives.
 func (df *DataFrame) First() (sqltypes.Row, error) {
-	rows, err := df.Limit(1).Collect()
-	if err != nil || len(rows) == 0 {
+	rows, err := df.Limit(1).Query(context.Background())
+	if err != nil {
 		return nil, err
 	}
-	return rows[0], nil
+	defer rows.Close()
+	if rows.Next() {
+		return rows.Row(), nil
+	}
+	return nil, rows.Err()
 }
 
 // Show renders up to n rows as an aligned text table.

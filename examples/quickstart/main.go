@@ -1,9 +1,12 @@
 // Quickstart walks through the paper's Listing 1 — the Indexed DataFrame
 // API — end to end: create an index on a DataFrame, cache it, look up keys,
-// append rows (fine-grained and batch), and run an index-powered join.
+// append rows (fine-grained and batch), and run an index-powered join. It
+// finishes with the streaming query API: a Rows cursor with Scan, and a
+// prepared statement with `?` placeholders served from the plan cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -109,6 +112,44 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("join produced %d rows\n", total)
+	fmt.Printf("join produced %d rows\n\n", total)
+
+	// Streaming query API: a database/sql-style cursor. Rows arrive as
+	// partition tasks complete — first-row latency does not wait for the
+	// whole scan — and cancelling ctx stops the remaining work.
+	ctx := context.Background()
+	cursor, err := newIndexedDF.Query(ctx)
+	if err != nil {
+		return err
+	}
+	defer cursor.Close()
+	shown := 0
+	for cursor.Next() && shown < 3 {
+		var src, dst int64
+		var weight float64
+		if err := cursor.Scan(&src, &dst, &weight); err != nil {
+			return err
+		}
+		fmt.Printf("streamed edge %d -> %d (weight %.3f)\n", src, dst, weight)
+		shown++
+	}
+	if err := cursor.Err(); err != nil {
+		return err
+	}
+
+	// Prepared statement: compiled once, `?` bound per execution from the
+	// session's plan cache — the point-lookup path skips
+	// parse/analyze/optimize/plan entirely on re-execution.
+	stmt, err := sess.Prepare("SELECT src, dst, weight FROM edges WHERE src = ?")
+	if err != nil {
+		return err
+	}
+	for _, key := range []int64{7, 42, 55} {
+		hits, err := stmt.Collect(ctx, key)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("prepared lookup src=%d: %d rows\n", key, len(hits))
+	}
 	return nil
 }

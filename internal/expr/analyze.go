@@ -97,7 +97,9 @@ func constant(e Expr) bool {
 	ok := true
 	Walk(e, func(n Expr) bool {
 		switch n.(type) {
-		case *Col, *Bound:
+		case *Col, *Bound, *Param:
+			// Params are constant only once bound; folding them would
+			// evaluate the placeholder error.
 			ok = false
 			return false
 		}

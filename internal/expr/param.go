@@ -1,0 +1,56 @@
+package expr
+
+import (
+	"fmt"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// Param is a prepared-statement placeholder (`?` in SQL), identified by its
+// 0-based position in the statement. It binds no column, so it reports
+// Resolved and survives analysis; evaluating an unbound parameter is an
+// error — execution requires bind-time substitution (the physical plan
+// rewrite replacing each Param with its bound literal) first.
+type Param struct{ Index int }
+
+// NewParam builds the placeholder for 0-based position index.
+func NewParam(index int) *Param { return &Param{Index: index} }
+
+func (p *Param) String() string      { return fmt.Sprintf("?%d", p.Index+1) }
+func (p *Param) Type() sqltypes.Type { return sqltypes.Unknown }
+func (p *Param) Resolved() bool      { return true }
+func (p *Param) Children() []Expr    { return nil }
+func (p *Param) WithChildren(c []Expr) (Expr, error) {
+	if len(c) != 0 {
+		return nil, fmt.Errorf("expr: parameter takes no children")
+	}
+	return p, nil
+}
+func (p *Param) Eval(sqltypes.Row) (sqltypes.Value, error) {
+	return sqltypes.Null, fmt.Errorf("expr: unbound parameter ?%d (execute via a prepared statement)", p.Index+1)
+}
+
+// EqualityWithKeyConst generalizes EqualityWithLiteral to the shapes the
+// index-aware rules accept as a lookup key: `col = literal` and
+// `col = ?` (either operand order). It returns the bound column and the
+// key expression (a *Literal or *Param).
+func EqualityWithKeyConst(e Expr) (col *Bound, key Expr, ok bool) {
+	c, isCmp := e.(*Cmp)
+	if !isCmp || c.Op != Eq {
+		return nil, nil, false
+	}
+	isKey := func(x Expr) bool {
+		switch x.(type) {
+		case *Literal, *Param:
+			return true
+		}
+		return false
+	}
+	if b, okL := c.L.(*Bound); okL && isKey(c.R) {
+		return b, c.R, true
+	}
+	if b, okR := c.R.(*Bound); okR && isKey(c.L) {
+		return b, c.L, true
+	}
+	return nil, nil, false
+}

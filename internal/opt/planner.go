@@ -146,14 +146,16 @@ func (pl *Planner) planFilter(f *plan.Filter) (physical.Exec, error) {
 		if it, ok := rel.Table.(*catalog.IndexedTable); ok {
 			conjuncts := expr.SplitConjunction(f.Cond)
 			for i, c := range conjuncts {
-				col, lit, ok := expr.EqualityWithLiteral(c)
+				// The key may be a literal or a prepared-statement
+				// placeholder; placeholders are substituted at bind time.
+				col, key, ok := expr.EqualityWithKeyConst(c)
 				if !ok || col.Ordinal != it.KeyColumn() {
 					continue
 				}
 				rest := make([]expr.Expr, 0, len(conjuncts)-1)
 				rest = append(rest, conjuncts[:i]...)
 				rest = append(rest, conjuncts[i+1:]...)
-				return physical.NewIndexLookup(it, lit, expr.JoinConjuncts(rest), rel.Schema()), nil
+				return physical.NewIndexLookupKeyExpr(it, key, expr.JoinConjuncts(rest), rel.Schema()), nil
 			}
 		}
 	}

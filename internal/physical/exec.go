@@ -6,6 +6,7 @@
 package physical
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -30,17 +31,31 @@ type Exec interface {
 
 // ExecContext carries per-query execution state. Indexed-table snapshots
 // are memoized so every indexed operator in one query reads the same
-// multi-version view.
+// multi-version view. Ctx is the query's cancellation context; operators
+// that run sub-jobs during Execute (broadcast builds) schedule them under
+// it, and the driver runs/streams the root RDD under it.
 type ExecContext struct {
 	RDD *rdd.Context
+	Ctx context.Context
 
 	mu    sync.Mutex
 	snaps map[*core.IndexedTable]*core.Snapshot
 }
 
-// NewExecContext builds an ExecContext on an rdd Context.
+// NewExecContext builds an ExecContext on an rdd Context with a background
+// cancellation context.
 func NewExecContext(rc *rdd.Context) *ExecContext {
-	return &ExecContext{RDD: rc, snaps: make(map[*core.IndexedTable]*core.Snapshot)}
+	return NewExecContextCtx(context.Background(), rc)
+}
+
+// NewExecContextCtx builds an ExecContext whose execution is governed by
+// ctx: cancellation or deadline expiry stops partition tasks, shuffle
+// stages and broadcast builds.
+func NewExecContextCtx(ctx context.Context, rc *rdd.Context) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ExecContext{RDD: rc, Ctx: ctx, snaps: make(map[*core.IndexedTable]*core.Snapshot)}
 }
 
 // SnapshotOf returns the query's pinned snapshot of t, taking it on first

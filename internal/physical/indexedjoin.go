@@ -110,7 +110,7 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	n := snap.NumPartitions()
 	indexedWidth := j.Indexed.Schema().Len()
 	if j.Broadcast {
-		probeRows, err := ec.RDD.Collect(probeRDD)
+		probeRows, err := ec.RDD.CollectCtx(ec.Ctx, probeRDD)
 		if err != nil {
 			return nil, err
 		}
@@ -128,9 +128,14 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			p := snap.PartitionFor(key)
 			routed[p] = append(routed[p], r)
 		}
-		return ec.RDD.NewIterRDD(nil, n, func(_ *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return ec.RDD.NewIterRDD(nil, n, func(tc *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 			var b sliceBuilder
-			for _, probeRow := range routed[p] {
+			for i, probeRow := range routed[p] {
+				if i%1024 == 0 {
+					if err := tc.Err(); err != nil {
+						return nil, err
+					}
+				}
 				matched, err := j.joinProbeRow(snap, p, probeRow, &b)
 				if err != nil {
 					return nil, err
@@ -148,9 +153,14 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return keyOf(r, probeKey)
 	}}
 	shuffled := ec.RDD.NewShuffledRDD(probeRDD, part)
-	return ec.RDD.NewIterRDD(shuffled, 0, func(_ *rdd.TaskContext, p int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+	return ec.RDD.NewIterRDD(shuffled, 0, func(tc *rdd.TaskContext, p int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var b sliceBuilder
-		for {
+		for n := 0; ; n++ {
+			if n%1024 == 0 {
+				if err := tc.Err(); err != nil {
+					return nil, err
+				}
+			}
 			probeRow, err := in.Next()
 			if err != nil {
 				return nil, err

@@ -60,12 +60,18 @@ func buildHashTable(rows []sqltypes.Row, keys []int) joinTable {
 }
 
 // probe joins stream rows against the hash table; residual (bound against
-// the concatenated left+right schema) further filters matches.
-func probe(stream []sqltypes.Row, ht joinTable, streamKeys []int,
+// the concatenated left+right schema) further filters matches. tc (may be
+// nil) is polled so a cancelled query stops a wide join mid-partition.
+func probe(tc *rdd.TaskContext, stream []sqltypes.Row, ht joinTable, streamKeys []int,
 	streamIsLeft bool, joinType JoinType, residual expr.Expr, buildWidth int) ([]sqltypes.Row, error) {
 	var out []sqltypes.Row
 	var buf []byte
-	for _, s := range stream {
+	for i, s := range stream {
+		if i%1024 == 0 {
+			if err := tc.Err(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		if !hasNullKey(s, streamKeys) {
 			buf = AppendRowKey(buf[:0], s, streamKeys)
@@ -143,7 +149,7 @@ func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	lKeys, rKeys := j.LeftKeys, j.RightKeys
 	jt, residual := j.Type, j.Residual
 	rightWidth := j.Right.Schema().Len()
-	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
+	return ec.RDD.NewZipRDD(ls, rs, func(tc *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
 		rrows, err := sqltypes.Drain(rit)
 		if err != nil {
 			return nil, err
@@ -153,7 +159,7 @@ func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			return nil, err
 		}
 		ht := buildHashTable(rrows, rKeys)
-		out, err := probe(lrows, ht, lKeys, true, jt, residual, rightWidth)
+		out, err := probe(tc, lrows, ht, lKeys, true, jt, residual, rightWidth)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +210,7 @@ func (j *BroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	buildRows, err := ec.RDD.Collect(buildRDD) // the broadcast
+	buildRows, err := ec.RDD.CollectCtx(ec.Ctx, buildRDD) // the broadcast
 	if err != nil {
 		return nil, err
 	}
@@ -217,12 +223,12 @@ func (j *BroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	jt, residual := j.Type, j.Residual
 	buildWidth := j.Build.Schema().Len()
 	streamIsLeft := j.BuildIsRight
-	return ec.RDD.NewIterRDD(stream, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+	return ec.RDD.NewIterRDD(stream, 0, func(tc *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		srows, err := sqltypes.Drain(in)
 		if err != nil {
 			return nil, err
 		}
-		out, err := probe(srows, ht, sKeys, streamIsLeft, jt, residual, buildWidth)
+		out, err := probe(tc, srows, ht, sKeys, streamIsLeft, jt, residual, buildWidth)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +273,7 @@ func (j *NestedLoopJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	rightRows, err := ec.RDD.Collect(rightRDD)
+	rightRows, err := ec.RDD.CollectCtx(ec.Ctx, rightRDD)
 	if err != nil {
 		return nil, err
 	}
@@ -277,9 +283,14 @@ func (j *NestedLoopJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	cond, jt := j.Cond, j.Type
 	rightWidth := j.Right.Schema().Len()
-	return ec.RDD.NewIterRDD(left, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+	return ec.RDD.NewIterRDD(left, 0, func(tc *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var out []sqltypes.Row
 		for {
+			// The cross product explodes quadratically; poll cancellation
+			// every stream row so a cancelled query stops mid-partition.
+			if err := tc.Err(); err != nil {
+				return nil, err
+			}
 			l, err := in.Next()
 			if err != nil {
 				return nil, err

@@ -116,22 +116,27 @@ func (s *IndexedScanExec) String() string {
 func (s *IndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	snap := ec.SnapshotOf(s.Table.Core())
 	proj := s.Projection
-	return ec.RDD.NewIterRDD(nil, snap.NumPartitions(), func(_ *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
+	return ec.RDD.NewIterRDD(nil, snap.NumPartitions(), func(tc *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var b sliceBuilder
 		var err error
+		n := 0
+		visit := func(row sqltypes.Row) bool {
+			if n++; n%1024 == 0 && tc.Err() != nil {
+				return false // cancelled mid-scan; surfaced below
+			}
+			b.add(row.Clone())
+			return true
+		}
 		if proj == nil {
-			err = snap.ScanPartition(p, func(row sqltypes.Row) bool {
-				b.add(row.Clone())
-				return true
-			})
+			err = snap.ScanPartition(p, visit)
 		} else {
-			err = snap.ScanPartitionColumns(p, proj, func(row sqltypes.Row) bool {
-				b.add(row.Clone())
-				return true
-			})
+			err = snap.ScanPartitionColumns(p, proj, visit)
 		}
 		if err != nil {
 			return nil, err
+		}
+		if cerr := tc.Err(); cerr != nil {
+			return nil, cerr
 		}
 		return b.iter(), nil
 	}), nil
@@ -142,16 +147,24 @@ func (s *IndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 
 // IndexLookupExec answers an equality filter on the indexed column with one
 // Ctrie lookup plus a backward-chain walk, instead of a scan. A residual
-// predicate (the rest of the WHERE clause) filters the chain rows.
+// predicate (the rest of the WHERE clause) filters the chain rows. The key
+// is a constant expression — a literal, or a prepared-statement parameter
+// that bind-time substitution replaces before execution.
 type IndexLookupExec struct {
 	Table    *catalog.IndexedTable
-	Key      sqltypes.Value
+	Key      expr.Expr // *expr.Literal, or *expr.Param until bound
 	Residual expr.Expr // bound against the table schema; may be nil
 	schema   *sqltypes.Schema
 }
 
-// NewIndexLookup builds an index lookup.
+// NewIndexLookup builds an index lookup on a literal key.
 func NewIndexLookup(table *catalog.IndexedTable, key sqltypes.Value, residual expr.Expr, outSchema *sqltypes.Schema) *IndexLookupExec {
+	return NewIndexLookupKeyExpr(table, expr.Lit(key), residual, outSchema)
+}
+
+// NewIndexLookupKeyExpr builds an index lookup whose key is a constant
+// expression (literal or parameter placeholder).
+func NewIndexLookupKeyExpr(table *catalog.IndexedTable, key expr.Expr, residual expr.Expr, outSchema *sqltypes.Schema) *IndexLookupExec {
 	return &IndexLookupExec{Table: table, Key: key, Residual: residual, schema: outSchema}
 }
 
@@ -171,7 +184,12 @@ func (s *IndexLookupExec) String() string {
 // Execute implements Exec.
 func (s *IndexLookupExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	snap := ec.SnapshotOf(s.Table.Core())
-	key := s.Key
+	key, err := s.Key.Eval(nil)
+	if err != nil {
+		// An unbound parameter reaches execution only when the statement
+		// was run ad hoc instead of through a prepared statement.
+		return nil, err
+	}
 	residual := s.Residual
 	// A single partition computes the lookup: the key's home partition.
 	return ec.RDD.NewIterRDD(nil, 1, func(_ *rdd.TaskContext, _ int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {

@@ -170,7 +170,7 @@ func (j *VecBroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	buildRows, err := ec.RDD.Collect(buildRDD)
+	buildRows, err := ec.RDD.CollectCtx(ec.Ctx, buildRDD)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +315,7 @@ func (j *VecIndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			out:       vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}, nil
 	}
 	if j.Broadcast {
-		probeRows, err := ec.RDD.Collect(probeRDD)
+		probeRows, err := ec.RDD.CollectCtx(ec.Ctx, probeRDD)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +20,13 @@ type Context struct {
 	shuffles    *ShuffleManager
 	// Blocks is the block manager used by cached RDDs.
 	Blocks *storage.Manager
+
+	// Task metrics: partition tasks (result or shuffle-map) started and
+	// completed since the context was created. Streaming-cursor tests use
+	// the deltas to assert that early rows don't wait for the whole job and
+	// that cancellation stops the remaining tasks.
+	tasksStarted   atomic.Int64
+	tasksCompleted atomic.Int64
 }
 
 // Option configures a Context.
@@ -55,6 +63,12 @@ func NewContext(opts ...Option) *Context {
 // Parallelism returns the task pool width.
 func (c *Context) Parallelism() int { return c.parallelism }
 
+// TasksStarted returns the number of partition tasks launched so far.
+func (c *Context) TasksStarted() int64 { return c.tasksStarted.Load() }
+
+// TasksCompleted returns the number of partition tasks finished so far.
+func (c *Context) TasksCompleted() int64 { return c.tasksCompleted.Load() }
+
 func (c *Context) nextRDDID() int     { return int(c.rddID.Add(1)) }
 func (c *Context) nextShuffleID() int { return int(c.shuffleID.Add(1)) }
 
@@ -63,7 +77,8 @@ func (c *Context) blockID(owner, partition int) storage.BlockID {
 }
 
 // parallelFor runs f(0..n-1) on the task pool and returns the first error.
-func (c *Context) parallelFor(n int, f func(i int) error) error {
+// A cancelled ctx stops handing out new indices and surfaces ctx.Err().
+func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -73,6 +88,9 @@ func (c *Context) parallelFor(n int, f func(i int) error) error {
 	}
 	if width <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -85,21 +103,28 @@ func (c *Context) parallelFor(n int, f func(i int) error) error {
 		mu   sync.Mutex
 		errs error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if errs == nil {
+			errs = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < width; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if err := f(i); err != nil {
-					mu.Lock()
-					if errs == nil {
-						errs = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 			}
@@ -109,26 +134,67 @@ func (c *Context) parallelFor(n int, f func(i int) error) error {
 	return errs
 }
 
+// computePartition runs one partition task to completion: Compute, then a
+// cancellation-aware drain. Task metrics are updated around it.
+func (c *Context) computePartition(ctx context.Context, r RDD, p int) ([]sqltypes.Row, error) {
+	c.tasksStarted.Add(1)
+	tc := &TaskContext{Ctx: c, Partition: p, ctx: ctx}
+	it, err := r.Compute(tc, p)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+	}
+	rows, err := drainCtx(ctx, it)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+	}
+	c.tasksCompleted.Add(1)
+	return rows, nil
+}
+
+// drainCtx materializes an iterator, checking for cancellation between
+// blocks of rows so runaway tasks stop promptly.
+func drainCtx(ctx context.Context, it sqltypes.RowIter) ([]sqltypes.Row, error) {
+	const checkEvery = 1024
+	var out []sqltypes.Row
+	for {
+		if len(out)%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
 // RunJob schedules the RDD — materializing every shuffle stage it depends
 // on, bottom-up — and returns the rows of each partition. When the job
 // finishes its shuffle outputs are released (Spark keeps them for lineage
 // re-use; our queries build fresh RDD graphs, so retaining them would only
 // leak).
 func (c *Context) RunJob(r RDD) ([][]sqltypes.Row, error) {
+	return c.RunJobCtx(context.Background(), r)
+}
+
+// RunJobCtx is RunJob under a context: cancellation or deadline expiry
+// stops scheduling new partition tasks, interrupts running drains and
+// shuffle stages, and surfaces ctx.Err().
+func (c *Context) RunJobCtx(ctx context.Context, r RDD) ([][]sqltypes.Row, error) {
 	defer c.releaseShuffles(r, map[int]bool{})
-	if err := c.ensureShuffles(r, map[int]bool{}); err != nil {
+	if err := c.ensureShuffles(ctx, r, map[int]bool{}); err != nil {
 		return nil, err
 	}
 	out := make([][]sqltypes.Row, r.NumPartitions())
-	err := c.parallelFor(r.NumPartitions(), func(p int) error {
-		tc := &TaskContext{Ctx: c, Partition: p}
-		it, err := r.Compute(tc, p)
+	err := c.parallelFor(ctx, r.NumPartitions(), func(p int) error {
+		rows, err := c.computePartition(ctx, r, p)
 		if err != nil {
-			return fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
-		}
-		rows, err := sqltypes.Drain(it)
-		if err != nil {
-			return fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+			return err
 		}
 		out[p] = rows
 		return nil
@@ -141,7 +207,12 @@ func (c *Context) RunJob(r RDD) ([][]sqltypes.Row, error) {
 
 // Collect runs the job and concatenates all partitions.
 func (c *Context) Collect(r RDD) ([]sqltypes.Row, error) {
-	parts, err := c.RunJob(r)
+	return c.CollectCtx(context.Background(), r)
+}
+
+// CollectCtx is Collect under a context.
+func (c *Context) CollectCtx(ctx context.Context, r RDD) ([]sqltypes.Row, error) {
+	parts, err := c.RunJobCtx(ctx, r)
 	if err != nil {
 		return nil, err
 	}
@@ -185,17 +256,17 @@ func (c *Context) releaseShuffles(r RDD, visited map[int]bool) {
 
 // ensureShuffles walks the lineage graph and materializes every shuffle
 // stage (map outputs) reachable from r, parents first.
-func (c *Context) ensureShuffles(r RDD, visiting map[int]bool) error {
+func (c *Context) ensureShuffles(ctx context.Context, r RDD, visiting map[int]bool) error {
 	if visiting[r.ID()] {
 		return nil
 	}
 	visiting[r.ID()] = true
 	for _, dep := range r.Dependencies() {
-		if err := c.ensureShuffles(dep.Parent(), visiting); err != nil {
+		if err := c.ensureShuffles(ctx, dep.Parent(), visiting); err != nil {
 			return err
 		}
 		if sd, ok := dep.(*ShuffleDependency); ok {
-			if err := c.runShuffleStage(sd); err != nil {
+			if err := c.runShuffleStage(ctx, sd); err != nil {
 				return err
 			}
 		}
@@ -206,18 +277,24 @@ func (c *Context) ensureShuffles(r RDD, visiting map[int]bool) error {
 // runShuffleStage computes the map side of a shuffle: each parent partition
 // is computed and its rows bucketed by the partitioner into the shuffle
 // service. Idempotent per shuffle id.
-func (c *Context) runShuffleStage(dep *ShuffleDependency) error {
+func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) error {
 	return c.shuffles.RunOnce(dep.ShuffleID, func() error {
 		parent := dep.P
 		nReduce := dep.Partitioner.NumPartitions()
-		return c.parallelFor(parent.NumPartitions(), func(mapPart int) error {
-			tc := &TaskContext{Ctx: c, Partition: mapPart}
+		return c.parallelFor(ctx, parent.NumPartitions(), func(mapPart int) error {
+			c.tasksStarted.Add(1)
+			tc := &TaskContext{Ctx: c, Partition: mapPart, ctx: ctx}
 			it, err := parent.Compute(tc, mapPart)
 			if err != nil {
 				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
 			}
 			buckets := make([][]sqltypes.Row, nReduce)
-			for {
+			for n := 0; ; n++ {
+				if n%1024 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				row, err := it.Next()
 				if err != nil {
 					return err
@@ -229,6 +306,7 @@ func (c *Context) runShuffleStage(dep *ShuffleDependency) error {
 				buckets[b] = append(buckets[b], row)
 			}
 			c.shuffles.Write(dep.ShuffleID, mapPart, buckets)
+			c.tasksCompleted.Add(1)
 			return nil
 		})
 	})

@@ -7,6 +7,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 
 	"indexeddf/internal/sqltypes"
@@ -90,6 +91,31 @@ func (SinglePartitioner) PartitionFor(sqltypes.Row) int { return 0 }
 type TaskContext struct {
 	Ctx       *Context
 	Partition int
+
+	// ctx is the query's cancellation context (nil means background).
+	// Long-running Compute loops poll Err to stop promptly when the query
+	// is cancelled or its deadline expires.
+	ctx context.Context
+}
+
+// Err reports the task's cancellation state: nil while the query is live,
+// context.Canceled / context.DeadlineExceeded once it is not. Operators
+// with long per-partition loops (scans, shuffle writes) poll this every
+// block of rows.
+func (tc *TaskContext) Err() error {
+	if tc == nil || tc.ctx == nil {
+		return nil
+	}
+	return tc.ctx.Err()
+}
+
+// Cancellation returns the task's context (context.Background when the job
+// was started without one).
+func (tc *TaskContext) Cancellation() context.Context {
+	if tc == nil || tc.ctx == nil {
+		return context.Background()
+	}
+	return tc.ctx
 }
 
 // ---------------------------------------------------------------------------

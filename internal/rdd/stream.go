@@ -1,0 +1,217 @@
+package rdd
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// RowStream is an incremental job run: partition tasks execute on a
+// bounded worker pool in the background while the consumer pulls rows in
+// partition order, so the first row of a large result is available as soon
+// as the first partition task finishes — not after the whole job. A
+// ticket system bounds the number of materialized-but-unconsumed
+// partitions to the worker width, giving natural backpressure.
+//
+// Closing the stream (or cancelling the context it was started under)
+// stops the remaining partition tasks promptly and releases the job's
+// shuffle outputs. RowStream is not safe for concurrent use by multiple
+// goroutines; each consumer should start its own stream.
+type RowStream struct {
+	c      *Context
+	r      RDD
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	slots   []chan partResult
+	tickets chan struct{}
+	workers sync.WaitGroup
+
+	firstErr atomic.Pointer[error]
+
+	// Consumer-side cursor state (single-goroutine).
+	nextPart int
+	cur      []sqltypes.Row
+	pos      int
+	finished bool
+	released bool
+}
+
+type partResult struct {
+	rows []sqltypes.Row
+	err  error
+}
+
+// StreamJob starts the RDD as a streaming job under ctx and returns the
+// stream. Shuffle stages run first (in the background), then partition
+// tasks execute with the context's parallelism; results are delivered to
+// Next in partition order, matching Collect.
+func (c *Context) StreamJob(ctx context.Context, r RDD) *RowStream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	n := r.NumPartitions()
+	width := c.parallelism
+	if width > n {
+		width = n
+	}
+	if width < 1 {
+		width = 1
+	}
+	s := &RowStream{
+		c:       c,
+		r:       r,
+		ctx:     sctx,
+		cancel:  cancel,
+		slots:   make([]chan partResult, n),
+		tickets: make(chan struct{}, n+width),
+	}
+	for i := range s.slots {
+		s.slots[i] = make(chan partResult, 1)
+	}
+	for i := 0; i < width; i++ {
+		s.tickets <- struct{}{}
+	}
+	s.workers.Add(1)
+	go s.run(width)
+	return s
+}
+
+// fail records the stream's first error and cancels everything else.
+func (s *RowStream) fail(err error) {
+	if err == nil {
+		return
+	}
+	e := err
+	s.firstErr.CompareAndSwap(nil, &e)
+	s.cancel()
+}
+
+// takeErr returns the definitive stream error: the first task/shuffle
+// error when one was recorded, the context error otherwise.
+func (s *RowStream) takeErr() error {
+	if p := s.firstErr.Load(); p != nil {
+		return *p
+	}
+	return s.ctx.Err()
+}
+
+// run materializes shuffle stages and then fans partition tasks out over
+// width workers. Each worker takes a backpressure ticket, computes the
+// next unclaimed partition, and parks the result in that partition's slot.
+func (s *RowStream) run(width int) {
+	defer s.workers.Done()
+	if err := s.c.ensureShuffles(s.ctx, s.r, map[int]bool{}); err != nil {
+		s.fail(err)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-s.ctx.Done():
+					return
+				case <-s.tickets:
+				}
+				p := int(next.Add(1)) - 1
+				if p >= len(s.slots) {
+					return
+				}
+				rows, err := s.c.computePartition(s.ctx, s.r, p)
+				if err != nil {
+					s.fail(err)
+					return
+				}
+				select {
+				case s.slots[p] <- partResult{rows: rows}:
+				case <-s.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Next returns the next row, or (nil, nil) when the stream is exhausted.
+// After an error (including cancellation) it keeps returning that error.
+func (s *RowStream) Next() (sqltypes.Row, error) {
+	for {
+		if s.finished {
+			return nil, s.takeFinishedErr()
+		}
+		if s.pos < len(s.cur) {
+			row := s.cur[s.pos]
+			s.pos++
+			return row, nil
+		}
+		if s.nextPart >= len(s.slots) {
+			s.finish()
+			return nil, nil
+		}
+		select {
+		case res := <-s.slots[s.nextPart]:
+			s.nextPart++
+			s.cur, s.pos = res.rows, 0
+			// Hand the consumed slot's ticket back so a worker can start
+			// the next partition.
+			select {
+			case s.tickets <- struct{}{}:
+			default:
+			}
+		case <-s.ctx.Done():
+			err := s.takeErr()
+			s.finishWithErr(err)
+			return nil, err
+		}
+	}
+}
+
+func (s *RowStream) takeFinishedErr() error {
+	if p := s.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// finish tears the stream down after successful exhaustion.
+func (s *RowStream) finish() {
+	s.finished = true
+	s.cancel()
+	s.workers.Wait()
+	s.release()
+}
+
+// finishWithErr tears the stream down after a failure, pinning err as the
+// stream's terminal state.
+func (s *RowStream) finishWithErr(err error) {
+	if err != nil {
+		e := err
+		s.firstErr.CompareAndSwap(nil, &e)
+	}
+	s.finish()
+}
+
+// Close cancels the stream's remaining work and releases its shuffle
+// outputs. Safe to call more than once and after exhaustion.
+func (s *RowStream) Close() {
+	if !s.finished {
+		s.finish()
+	}
+}
+
+func (s *RowStream) release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.cur = nil
+	s.c.releaseShuffles(s.r, map[int]bool{})
+}

@@ -119,7 +119,7 @@ func lex(input string) ([]token, error) {
 				continue
 			}
 			switch c {
-			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '%', '.':
+			case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '%', '.', '?':
 				out = append(out, token{kind: tkSymbol, text: string(c), pos: i})
 				i++
 			default:

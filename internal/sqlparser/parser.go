@@ -35,6 +35,9 @@ type parser struct {
 	toks    []token
 	pos     int
 	resolve Resolver
+	// params counts `?` placeholders in lexical order; each gets the next
+	// 0-based index.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -558,6 +561,11 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 			return nil, err
 		}
 		return &expr.Cast{E: e, To: ty}, nil
+	case t.kind == tkSymbol && t.text == "?":
+		p.next()
+		e := expr.NewParam(p.params)
+		p.params++
+		return e, nil
 	case t.kind == tkSymbol && t.text == "(":
 		p.next()
 		e, err := p.parseExpr()

@@ -199,3 +199,42 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePlaceholders(t *testing.T) {
+	stmt, err := ParseStatement("SELECT id FROM person WHERE id = ? AND age >= ?", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Kind != StmtSelect || stmt.NumParams != 2 {
+		t.Fatalf("kind=%d params=%d, want SELECT with 2 params", stmt.Kind, stmt.NumParams)
+	}
+	// Placeholders are numbered in lexical order.
+	s := plan.TreeString(stmt.Select)
+	if !strings.Contains(s, "?1") || !strings.Contains(s, "?2") {
+		t.Fatalf("placeholder ordering not reflected in plan:\n%s", s)
+	}
+	// View definitions reject placeholders.
+	if _, err := ParseStatement("CREATE MATERIALIZED VIEW v AS SELECT id FROM person WHERE id = ?", resolver()); err == nil {
+		t.Fatal("placeholder in view definition should fail")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, err := Normalize("select  id ,name\n from person  where name = 'o''brien' -- trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Normalize("SELECT id, name FROM person WHERE name = 'o''brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("normalized forms differ:\n%q\n%q", a, b)
+	}
+	// Identifier case is preserved (catalog is case-sensitive).
+	c, _ := Normalize("SELECT ID FROM person")
+	d, _ := Normalize("SELECT id FROM person")
+	if c == d {
+		t.Fatal("identifier case should be preserved")
+	}
+}

@@ -34,6 +34,10 @@ type Statement struct {
 	// ViewSQL is the original text of the defining SELECT
 	// (StmtCreateView).
 	ViewSQL string
+	// NumParams is the number of `?` placeholders the statement declares
+	// (StmtSelect only; prepared statements bind one argument per
+	// placeholder, in lexical order).
+	NumParams int
 }
 
 // ParseStatement compiles one SQL statement: SELECT queries (see Parse)
@@ -78,6 +82,9 @@ func ParseStatement(query string, resolve Resolver) (*Statement, error) {
 		if !p.at(tkEOF, "") {
 			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
 		}
+		if p.params > 0 {
+			return nil, fmt.Errorf("sqlparser: parameter placeholders are not allowed in view definitions")
+		}
 		return &Statement{
 			Kind:     StmtCreateView,
 			Select:   node,
@@ -110,6 +117,35 @@ func ParseStatement(query string, resolve Resolver) (*Statement, error) {
 		if !p.at(tkEOF, "") {
 			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
 		}
-		return &Statement{Kind: StmtSelect, Select: node}, nil
+		return &Statement{Kind: StmtSelect, Select: node, NumParams: p.params}, nil
 	}
+}
+
+// Normalize canonicalizes a statement's text for use as a plan-cache key:
+// it lexes the input and re-joins the tokens, collapsing whitespace and
+// comments and upper-casing keywords, so trivially different spellings of
+// one statement share a cache entry. Identifier case is preserved (the
+// catalog is case-sensitive) and string literals are re-quoted.
+func Normalize(query string) (string, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.kind == tkEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tkString {
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+			continue
+		}
+		sb.WriteString(t.text)
+	}
+	return sb.String(), nil
 }

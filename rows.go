@@ -1,0 +1,240 @@
+package indexeddf
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"indexeddf/internal/physical"
+	"indexeddf/internal/plan"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+)
+
+// Rows is a streaming query cursor in the database/sql style: rows are
+// pulled partition-at-a-time from the engine (batch-at-a-time inside
+// vectorized subtrees) while the remaining partition tasks execute in the
+// background, so the first row is available long before the job finishes
+// and a Close mid-stream stops the remaining work.
+//
+//	rows, err := df.Query(ctx)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var id int64
+//	    var name string
+//	    if err := rows.Scan(&id, &name); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is owned by one goroutine; concurrent queries each get their own
+// cursor (the Session is safe for concurrent use).
+type Rows struct {
+	schema *sqltypes.Schema
+	stream *rdd.RowStream
+	cancel context.CancelFunc // releases a session-timeout context, if any
+	row    sqltypes.Row
+	err    error
+	closed bool
+}
+
+// Schema returns the result schema.
+func (r *Rows) Schema() *sqltypes.Schema { return r.schema }
+
+// Next advances to the next row, reporting whether one is available. It
+// returns false at the end of the result set, after Close, and on error —
+// check Err to tell the cases apart.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	row, err := r.stream.Next()
+	if err != nil {
+		r.err = err
+		r.shutdown()
+		return false
+	}
+	if row == nil {
+		r.shutdown() // exhausted: release tasks and shuffle outputs eagerly
+		return false
+	}
+	r.row = row
+	return true
+}
+
+// Row returns the current row (valid after a true Next).
+func (r *Rows) Row() sqltypes.Row { return r.row }
+
+// Scan copies the current row into dest, one pointer per column. Supported
+// destinations: *int, *int32, *int64, *float64, *string, *bool,
+// *time.Time, *sqltypes.Value and *any (which receives the native Go
+// value, nil for NULL). Values convert with SQL implicit-cast semantics —
+// a column that cannot cast to the destination's type (e.g. a
+// non-numeric string into *int64) is an error, not a zero value. NULL
+// scans as the destination's zero value except into *any and
+// *sqltypes.Value.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil {
+		return fmt.Errorf("indexeddf: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("indexeddf: Scan expects %d destinations, got %d", len(r.row), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.row[i], d); err != nil {
+			return fmt.Errorf("indexeddf: Scan column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any: an execution
+// error, or the context's error (context.Canceled /
+// context.DeadlineExceeded) when the query was cancelled or timed out.
+func (r *Rows) Err() error { return r.err }
+
+// Close cancels any remaining partition tasks and releases the query's
+// resources. It is idempotent and is called implicitly when the cursor is
+// exhausted.
+func (r *Rows) Close() error {
+	r.shutdown()
+	return nil
+}
+
+func (r *Rows) shutdown() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.row = nil
+	r.stream.Close()
+	if r.cancel != nil {
+		r.cancel()
+	}
+}
+
+// scanValue converts one engine value into a Go destination pointer,
+// casting to the destination's SQL type first so type mismatches surface
+// as errors instead of zero values.
+func scanValue(v sqltypes.Value, dest any) error {
+	cast := func(t sqltypes.Type) (sqltypes.Value, error) {
+		c, err := v.Cast(t)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("cannot scan %s into %T: %w", v.T, dest, err)
+		}
+		return c, nil
+	}
+	switch d := dest.(type) {
+	case *sqltypes.Value:
+		*d = v
+	case *any:
+		*d = nativeValue(v)
+	case *int64:
+		c, err := cast(sqltypes.Int64)
+		if err != nil {
+			return err
+		}
+		*d = c.Int64Val()
+	case *int32:
+		c, err := cast(sqltypes.Int32)
+		if err != nil {
+			return err
+		}
+		*d = int32(c.Int64Val())
+	case *int:
+		c, err := cast(sqltypes.Int64)
+		if err != nil {
+			return err
+		}
+		*d = int(c.Int64Val())
+	case *float64:
+		c, err := cast(sqltypes.Float64)
+		if err != nil {
+			return err
+		}
+		*d = c.Float64Val()
+	case *string:
+		if v.IsNull() {
+			*d = ""
+		} else {
+			*d = v.String()
+		}
+	case *bool:
+		c, err := cast(sqltypes.Bool)
+		if err != nil {
+			return err
+		}
+		*d = !c.IsNull() && c.Bool()
+	case *time.Time:
+		if v.IsNull() {
+			*d = time.Time{}
+			return nil
+		}
+		c, err := cast(sqltypes.Timestamp)
+		if err != nil {
+			return err
+		}
+		*d = c.Time()
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return nil
+}
+
+// nativeValue maps an engine value onto its natural Go representation.
+func nativeValue(v sqltypes.Value) any {
+	switch v.T {
+	case sqltypes.Unknown:
+		return nil
+	case sqltypes.Bool:
+		return v.Bool()
+	case sqltypes.Int32:
+		return int32(v.Int64Val())
+	case sqltypes.Int64:
+		return v.Int64Val()
+	case sqltypes.Float64:
+		return v.Float64Val()
+	case sqltypes.String:
+		return v.StringVal()
+	case sqltypes.Timestamp:
+		return v.Time()
+	default:
+		return v.String()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Session-side cursor construction
+
+// queryExec starts a compiled physical plan as a streaming cursor under
+// ctx, applying the session's QueryTimeout when the caller set no
+// deadline of its own.
+func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if s.cfg.QueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		}
+	}
+	ec := physical.NewExecContextCtx(ctx, s.ctx)
+	r, err := exec.Execute(ec)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel}, nil
+}
+
+// queryNode compiles a logical plan and starts it as a cursor.
+func (s *Session) queryNode(ctx context.Context, n plan.Node) (*Rows, error) {
+	exec, err := s.compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryExec(ctx, exec)
+}

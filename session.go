@@ -13,8 +13,10 @@
 package indexeddf
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
@@ -49,6 +51,15 @@ type Config struct {
 	// compare both paths). Views can still be created, refreshed and
 	// queried by name.
 	DisableViewRewrite bool
+	// QueryTimeout is the session-wide default deadline applied to every
+	// query started without one of its own (Query, Collect, Stmt.Query).
+	// Zero means no timeout. Expiry cancels the query's remaining
+	// partition tasks and surfaces context.DeadlineExceeded from
+	// Rows.Err().
+	QueryTimeout time.Duration
+	// PlanCacheSize bounds the session's LRU cache of compiled prepared
+	// statements, keyed on normalized SQL (default 128 entries).
+	PlanCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +83,13 @@ type Session struct {
 	planner *opt.Planner
 
 	views *catalog.ViewRegistry
+	plans *planCache
+
+	// ddl serializes multi-step catalog operations (dropping a table and
+	// its dependent views, creating a view over a base table) so a view
+	// cannot be registered over a base that a concurrent DropTable is
+	// tearing down.
+	ddl sync.Mutex
 
 	mu     sync.RWMutex
 	tables map[string]catalog.Table
@@ -97,6 +115,7 @@ func NewSession(cfg Config) *Session {
 			DisableViewRewrite: cfg.DisableViewRewrite,
 		}),
 		views:  views,
+		plans:  newPlanCache(cfg.PlanCacheSize),
 		tables: make(map[string]catalog.Table),
 	}
 }
@@ -151,19 +170,44 @@ func (s *Session) Table(name string) (*DataFrame, error) {
 	return s.frame(plan.NewRelation(t, name)), nil
 }
 
-// DropTable removes a table from the catalog (materialized views
-// registered under the name are dropped too, turning the base table's
-// change capture off when it was the last one).
+// DropTable removes a table from the catalog. Dropping a base table also
+// drops every materialized view defined over it (their change capture is
+// turned off and retained logs discarded); dropping a view by name behaves
+// like DropMaterializedView. Compiled plans referencing the old catalog
+// entries are purged from the plan cache.
 func (s *Session) DropTable(name string) {
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
 	s.mu.Lock()
+	t := s.tables[name]
 	delete(s.tables, name)
 	s.mu.Unlock()
+	s.plans.purge()
+	// The name may itself be a materialized view.
 	if v, ok := s.views.Get(name); ok {
 		s.views.Drop(name)
 		if len(s.views.ForBase(v.Base())) == 0 {
 			v.Base().DisableChangeCapture()
 		}
+		return
 	}
+	// A dropped base table orphans every view defined over it: drop them
+	// all, then turn the table's change capture off.
+	it, ok := t.(*catalog.IndexedTable)
+	if !ok {
+		return
+	}
+	views := s.views.ForBase(it.Core())
+	if len(views) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, v := range views {
+		s.views.Drop(v.Name())
+		delete(s.tables, v.Name())
+	}
+	s.mu.Unlock()
+	it.Core().DisableChangeCapture()
 }
 
 // Tables lists registered table names.
@@ -192,6 +236,8 @@ func (s *Session) register(name string, t catalog.Table) error {
 		return fmt.Errorf("indexeddf: table %q already exists", name)
 	}
 	s.tables[name] = t
+	// A new catalog entry may shadow what a cached plan resolved against.
+	s.plans.purge()
 	return nil
 }
 
@@ -217,16 +263,18 @@ func (s *Session) compile(n plan.Node) (physical.Exec, error) {
 	return s.planner.Plan(optimized)
 }
 
-// execute compiles and runs a plan, returning all rows.
+// execute compiles and runs a plan to completion, returning all rows — a
+// thin wrapper over the streaming cursor path (queryNode + drain), kept as
+// the engine's batch entry point.
 func (s *Session) execute(n plan.Node) ([]sqltypes.Row, error) {
-	exec, err := s.compile(n)
+	return s.executeCtx(context.Background(), n)
+}
+
+// executeCtx is execute under a cancellation context.
+func (s *Session) executeCtx(ctx context.Context, n plan.Node) ([]sqltypes.Row, error) {
+	rows, err := s.queryNode(ctx, n)
 	if err != nil {
 		return nil, err
 	}
-	ec := physical.NewExecContext(s.ctx)
-	r, err := exec.Execute(ec)
-	if err != nil {
-		return nil, err
-	}
-	return s.ctx.Collect(r)
+	return drainRows(rows)
 }

@@ -1,6 +1,7 @@
 package indexeddf
 
 import (
+	"context"
 	"fmt"
 
 	"indexeddf/internal/plan"
@@ -68,4 +69,16 @@ func (s *Session) MustSQL(query string) *DataFrame {
 		panic(err)
 	}
 	return df
+}
+
+// Query compiles a SQL statement and executes it as a streaming cursor
+// under ctx — SQL + DataFrame.Query in one call, the shape a database
+// client expects. For repeated parameterized statements use Prepare, which
+// also skips compilation.
+func (s *Session) Query(ctx context.Context, query string) (*Rows, error) {
+	df, err := s.SQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return df.Query(ctx)
 }

@@ -1,0 +1,268 @@
+package indexeddf
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"indexeddf/internal/physical"
+	"indexeddf/internal/sqlparser"
+	"indexeddf/internal/sqltypes"
+)
+
+// Stmt is a prepared SQL statement: parsed, analyzed, optimized and
+// physically planned once, with `?` placeholders bound per execution.
+// Repeated executions skip the whole compilation pipeline — for an indexed
+// point lookup that is most of the query's latency. A Stmt is safe for
+// concurrent use: binding clones only the parameter-bearing fragments of
+// the cached plan.
+//
+// The Stmt resolves its compiled plan through the session's plan cache on
+// every execution, so catalog DDL (which purges the cache) transparently
+// recompiles the statement against the current catalog: a statement over
+// a dropped-and-recreated table sees the new table, and one over a
+// dropped table fails with "table not found" instead of silently reading
+// the dropped table's old state.
+type Stmt struct {
+	sess *Session
+	sql  string // normalized text (the plan-cache key)
+}
+
+// Prepare compiles a SELECT statement with optional `?` placeholders. The
+// compiled plan is cached in the session's bounded LRU plan cache keyed on
+// the normalized statement text, so preparing the same statement again —
+// from any goroutine — reuses the plan without touching the parser or the
+// optimizer.
+func (s *Session) Prepare(query string) (*Stmt, error) {
+	key, err := sqlparser.Normalize(query)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.prepareEntry(key); err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, sql: key}, nil
+}
+
+// prepareEntry returns the cached compiled plan for the normalized key,
+// compiling and caching it on a miss. The normalized text is itself valid
+// SQL, so recompilation after a cache purge parses it directly. The insert
+// is generation-guarded: if a DDL purge lands while this compile is in
+// flight, the freshly compiled (now possibly stale) plan is returned to
+// this caller but not cached, so it cannot outlive the purge.
+func (s *Session) prepareEntry(key string) (*planEntry, error) {
+	ent, gen, ok := s.plans.getGen(key)
+	if ok {
+		return ent, nil
+	}
+	stmt, err := sqlparser.ParseStatement(key, s.resolveTable)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Kind != sqlparser.StmtSelect {
+		return nil, fmt.Errorf("indexeddf: only SELECT statements can be prepared")
+	}
+	exec, err := s.compile(stmt.Select)
+	if err != nil {
+		return nil, err
+	}
+	ent = &planEntry{exec: exec, schema: exec.Schema(), numParams: stmt.NumParams}
+	s.plans.putAt(key, ent, gen)
+	return ent, nil
+}
+
+// entry resolves the statement's current compiled plan.
+func (st *Stmt) entry() (*planEntry, error) { return st.sess.prepareEntry(st.sql) }
+
+// SQLText returns the statement's normalized text.
+func (st *Stmt) SQLText() string { return st.sql }
+
+// NumParams returns the number of `?` placeholders.
+func (st *Stmt) NumParams() int {
+	ent, err := st.entry()
+	if err != nil {
+		return 0
+	}
+	return ent.numParams
+}
+
+// Schema returns the statement's result schema (nil if the statement no
+// longer compiles against the current catalog).
+func (st *Stmt) Schema() *sqltypes.Schema {
+	ent, err := st.entry()
+	if err != nil {
+		return nil
+	}
+	return ent.schema
+}
+
+// Query executes the prepared plan with args bound to its placeholders (in
+// lexical order) and returns a streaming cursor. The cached physical plan
+// is reused as-is; only parameter-bearing fragments are rebuilt.
+func (st *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	ent, err := st.entry()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := st.bind(ent, args)
+	if err != nil {
+		return nil, err
+	}
+	return st.sess.queryExec(ctx, exec)
+}
+
+// Collect executes the statement and materializes every row — Query plus a
+// full drain, for callers that want the batch shape.
+func (st *Stmt) Collect(ctx context.Context, args ...any) ([]sqltypes.Row, error) {
+	rows, err := st.Query(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return drainRows(rows)
+}
+
+// bind substitutes args into the cached plan.
+func (st *Stmt) bind(ent *planEntry, args []any) (physical.Exec, error) {
+	vals := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("indexeddf: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return physical.BindParams(ent.exec, ent.numParams, vals)
+}
+
+// toValue converts a native Go argument to an engine value.
+func toValue(a any) (sqltypes.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return sqltypes.Null, nil
+	case sqltypes.Value:
+		return v, nil
+	case bool:
+		return sqltypes.NewBool(v), nil
+	case int:
+		return sqltypes.NewInt64(int64(v)), nil
+	case int32:
+		return sqltypes.NewInt32(v), nil
+	case int64:
+		return sqltypes.NewInt64(v), nil
+	case float64:
+		return sqltypes.NewFloat64(v), nil
+	case string:
+		return sqltypes.NewString(v), nil
+	case time.Time:
+		return sqltypes.NewTimestampFromTime(v), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("unsupported argument type %T", a)
+	}
+}
+
+// drainRows materializes a cursor (closing it) — the compatibility shims'
+// bridge from the streaming path back to []Row.
+func drainRows(rows *Rows) ([]sqltypes.Row, error) {
+	defer rows.Close()
+	var out []sqltypes.Row
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+// planEntry is one compiled statement.
+type planEntry struct {
+	exec      physical.Exec
+	schema    *sqltypes.Schema
+	numParams int
+}
+
+// planCache is a bounded LRU of compiled statements keyed on normalized
+// SQL. Catalog changes (CREATE/DROP of tables and views) purge it, since
+// compiled plans bake in catalog handles; the generation counter lets an
+// in-flight compile detect that a purge overtook it and skip caching.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     int64      // bumped by purge
+	order   *list.List // front = most recently used; values are *planCacheItem
+	entries map[string]*list.Element
+
+	hits, misses int64
+}
+
+type planCacheItem struct {
+	key string
+	ent *planEntry
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &planCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// getGen looks the key up, also returning the cache generation observed so
+// a later putAt can detect an intervening purge.
+func (c *planCache) getGen(key string) (*planEntry, int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, c.gen, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planCacheItem).ent, c.gen, true
+}
+
+// putAt inserts ent unless the cache was purged since generation gen was
+// observed (the entry would then reference pre-purge catalog state).
+func (c *planCache) putAt(key string, ent *planEntry, gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planCacheItem).ent = ent
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planCacheItem{key: key, ent: ent})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*planCacheItem).key)
+	}
+}
+
+// purge drops every cached plan (catalog changed under them).
+func (c *planCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+func (c *planCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// PlanCacheStats reports the session plan cache's hit/miss counters
+// (benchmarks and tests assert reuse through it).
+func (s *Session) PlanCacheStats() (hits, misses int64) { return s.plans.stats() }

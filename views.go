@@ -32,6 +32,11 @@ func (s *Session) CreateMaterializedView(name, selectSQL string) (catalog.Materi
 }
 
 func (s *Session) createMaterializedView(name, selectSQL string, node plan.Node) (catalog.MaterializedView, error) {
+	// Serialized against DropTable so the view cannot register over a base
+	// that is concurrently being torn down (which would leak the view and
+	// its change capture).
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
 	if _, exists := s.LookupTable(name); exists {
 		return nil, fmt.Errorf("indexeddf: table or view %q already exists", name)
 	}
@@ -65,6 +70,8 @@ func (s *Session) createMaterializedView(name, selectSQL string, node plan.Node)
 // table's last view turns its change capture off and discards the
 // retained log, so tables without views never pay for capture.
 func (s *Session) DropMaterializedView(name string) error {
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
 	v, ok := s.views.Get(name)
 	if !ok {
 		return fmt.Errorf("indexeddf: materialized view %q not found", name)
@@ -73,6 +80,7 @@ func (s *Session) DropMaterializedView(name string) error {
 	s.mu.Lock()
 	delete(s.tables, name)
 	s.mu.Unlock()
+	s.plans.purge()
 	if len(s.views.ForBase(v.Base())) == 0 {
 		v.Base().DisableChangeCapture()
 	}
