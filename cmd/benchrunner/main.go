@@ -6,6 +6,7 @@
 //	benchrunner -fig mem      §2 memory-overhead claim
 //	benchrunner -fig view     materialized views — delta refresh vs recompute
 //	benchrunner -fig prepare  prepared statements — plan cache vs parse-per-call
+//	benchrunner -fig shuffle  batch (columnar) exchange vs row exchange, 1M-row GROUP BY
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -46,15 +47,16 @@ func main() {
 
 // report is the machine-readable output written by -json.
 type report struct {
-	Figure    string              `json:"figure"`
-	ScaleF    float64             `json:"scale_factor"`
-	Seed      int64               `json:"seed"`
-	Iters     int                 `json:"iters"`
-	RowEngine bool                `json:"row_engine"`
-	GoVersion string              `json:"go_version"`
-	Timestamp string              `json:"timestamp"`
-	Results   []measurementJSON   `json:"results,omitempty"`
-	Memory    *bench.MemoryReport `json:"memory,omitempty"`
+	Figure    string               `json:"figure"`
+	ScaleF    float64              `json:"scale_factor"`
+	Seed      int64                `json:"seed"`
+	Iters     int                  `json:"iters"`
+	RowEngine bool                 `json:"row_engine"`
+	GoVersion string               `json:"go_version"`
+	Timestamp string               `json:"timestamp"`
+	Results   []measurementJSON    `json:"results,omitempty"`
+	Memory    *bench.MemoryReport  `json:"memory,omitempty"`
+	Shuffle   *bench.ShuffleReport `json:"shuffle,omitempty"`
 }
 
 type measurementJSON struct {
@@ -160,6 +162,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 		if err := emit("prepare", ms, nil, false); err != nil {
 			return err
 		}
+	case "shuffle":
+		r, err := shuffleExchange(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "shuffle"
+			rep.Shuffle = &r
+			if err := writeJSON(jsonPath, rep); err != nil {
+				return err
+			}
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -196,12 +211,24 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 		if err := emit("prepare", mp, nil, true); err != nil {
 			return err
 		}
+		sr, err := shuffleExchange(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "shuffle"
+			rep.Shuffle = &sr
+			if err := writeJSON(jsonName(jsonPath, "shuffle", true), rep); err != nil {
+				return err
+			}
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -214,6 +241,23 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 			best.Speedup(), best.Name)
 	}
 	return nil
+}
+
+func shuffleExchange(iters int) (bench.ShuffleReport, error) {
+	fmt.Printf("\n== Batch exchange vs row exchange: 1M-row GROUP BY through the shuffle (100k groups) ==\n")
+	r, err := bench.ShuffleGroupBy(1_000_000, 100_000, iters)
+	if err != nil {
+		return bench.ShuffleReport{}, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "exchange\twall [ms]\talloc [MB]\t")
+	fmt.Fprintf(w, "batch (columnar)\t%.2f\t%.1f\t\n", msf(r.BatchTime), float64(r.BatchAllocs)/(1<<20))
+	fmt.Fprintf(w, "row\t%.2f\t%.1f\t\n", msf(r.RowTime), float64(r.RowAllocs)/(1<<20))
+	w.Flush()
+	fmt.Printf("batch exchange: %.2fx faster, %.2fx fewer allocated bytes (%d result groups)\n",
+		r.Speedup(), r.AllocRatio(), r.ResultRows)
+	fmt.Println(strings.Repeat("-", 56))
+	return r, nil
 }
 
 func preparedStatements(iters int) ([]bench.Measurement, error) {

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"indexeddf"
+)
+
+// ShuffleReport compares the batch (columnar) exchange against the row
+// exchange on one shuffle-heavy GROUP BY: same query, same data, the only
+// difference is Config.DisableVectorized. Alloc columns are per-query
+// heap deltas (runtime.MemStats.TotalAlloc), the metric the row exchange
+// loses on first — every exchanged row used to be materialized twice.
+type ShuffleReport struct {
+	Rows        int           `json:"rows"`
+	Groups      int           `json:"groups"`
+	BatchTime   time.Duration `json:"batch_ns"`
+	RowTime     time.Duration `json:"row_ns"`
+	BatchAllocs int64         `json:"batch_alloc_bytes"`
+	RowAllocs   int64         `json:"row_alloc_bytes"`
+	ResultRows  int           `json:"result_rows"`
+}
+
+// Speedup returns row/batch wall time.
+func (r ShuffleReport) Speedup() float64 {
+	if r.BatchTime <= 0 {
+		return 0
+	}
+	return float64(r.RowTime) / float64(r.BatchTime)
+}
+
+// AllocRatio returns row/batch allocated bytes.
+func (r ShuffleReport) AllocRatio() float64 {
+	if r.BatchAllocs <= 0 {
+		return 0
+	}
+	return float64(r.RowAllocs) / float64(r.BatchAllocs)
+}
+
+// ShuffleGroupBy measures `SELECT k, COUNT(*), SUM(v), AVG(v) FROM t
+// GROUP BY k` over rows rows and groups distinct keys through both
+// exchanges, returning the median wall time and per-query alloc bytes of
+// each. Results are cross-checked between the engines before timing.
+func ShuffleGroupBy(rows, groups, iters int) (ShuffleReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	mk := func(rowEngine bool) (*indexeddf.Session, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{DisableVectorized: rowEngine})
+		schema := indexeddf.NewSchema(
+			indexeddf.Field{Name: "k", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "v", Type: indexeddf.Int64},
+		)
+		data := make([]indexeddf.Row, rows)
+		for i := range data {
+			data[i] = indexeddf.R(int64(i%groups), int64(i))
+		}
+		df, err := sess.CreateTable("t", schema, data)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+	const query = "SELECT k, COUNT(*) AS cnt, SUM(v) AS total, AVG(v) AS mean FROM t GROUP BY k"
+	run := func(sess *indexeddf.Session) (int, error) {
+		df, err := sess.SQL(query)
+		if err != nil {
+			return 0, err
+		}
+		out, err := df.Collect()
+		if err != nil {
+			return 0, err
+		}
+		return len(out), nil
+	}
+	measure := func(sess *indexeddf.Session) (time.Duration, int64, int, error) {
+		// Warm once (builds the columnar cache lazily).
+		n, err := run(sess)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := run(sess); err != nil {
+				return 0, 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		allocs := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		return median(times), allocs, n, nil
+	}
+
+	batchSess, err := mk(false)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	rowSess, err := mk(true)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	// Sanity: both exchanges agree before anything is timed.
+	bn, err := run(batchSess)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	rn, err := run(rowSess)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	if bn != rn {
+		return ShuffleReport{}, fmt.Errorf("bench: exchanges disagree (%d vs %d groups)", bn, rn)
+	}
+	batchTime, batchAllocs, n, err := measure(batchSess)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	rowTime, rowAllocs, _, err := measure(rowSess)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+	return ShuffleReport{
+		Rows:        rows,
+		Groups:      groups,
+		BatchTime:   batchTime,
+		RowTime:     rowTime,
+		BatchAllocs: batchAllocs,
+		RowAllocs:   rowAllocs,
+		ResultRows:  n,
+	}, nil
+}

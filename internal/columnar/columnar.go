@@ -164,6 +164,52 @@ func (v *Vector) Resize(n int) {
 	v.n = n
 }
 
+// Grow extends the vector by n positions, preserving existing values and
+// nulls. The new positions are valid (non-null) but their payload is
+// unspecified: the caller must write each grown position through the raw
+// lanes or mark it null. This is the append-into-column path bulk
+// builders use (Resize would wipe the null bitmap of rows already
+// written).
+func (v *Vector) Grow(n int) {
+	old := v.n
+	v.n += n
+	words := (v.n + 63) / 64
+	for len(v.nulls) < words {
+		v.nulls = append(v.nulls, 0)
+	}
+	// Clear any stale null bits beyond old left by a previous longer use of
+	// the shared capacity.
+	if old%64 != 0 {
+		v.nulls[old/64] &= (1 << (old % 64)) - 1
+	}
+	for w := (old + 63) / 64; w < words; w++ {
+		v.nulls[w] = 0
+	}
+	// Extend the payload lane. New positions need no zeroing: the caller
+	// writes every grown position (or marks it null, which readers must
+	// not interpret), so spare capacity is re-sliced in place.
+	switch v.Type {
+	case sqltypes.Float64:
+		if cap(v.f64) >= v.n {
+			v.f64 = v.f64[:v.n]
+		} else {
+			v.f64 = append(v.f64, make([]float64, n)...)
+		}
+	case sqltypes.String:
+		if cap(v.str) >= v.n {
+			v.str = v.str[:v.n]
+		} else {
+			v.str = append(v.str, make([]string, n)...)
+		}
+	default:
+		if cap(v.i64) >= v.n {
+			v.i64 = v.i64[:v.n]
+		} else {
+			v.i64 = append(v.i64, make([]int64, n)...)
+		}
+	}
+}
+
 // Set writes val at position i of a Resize-d vector (NULL or matching the
 // vector's type family; mismatched types go through the cast used by
 // Append). Unlike Append it touches no growth or bitmap-extension logic,

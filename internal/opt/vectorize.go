@@ -17,10 +17,15 @@ import (
 //   - the indexed (row-store) scan and the inner hash / indexed joins
 //     vectorize only when batchSink says the parent ingests batches:
 //     their columnar output costs real work to build, which is wasted if
-//     the very next step materializes rows again (a collect, an exchange,
-//     a sort). Wide join output re-materialized row-by-row is slower than
-//     the row join — measured, not hypothetical;
-//   - the final aggregate phase and outer joins always stay row-based.
+//     the very next step materializes rows again (a collect or a sort).
+//     Wide join output re-materialized row-by-row is slower than the row
+//     join — measured, not hypothetical;
+//   - an exchange feeding a batch consumer becomes the columnar exchange
+//     (batches scatter column-wise through the shuffle service and stream
+//     back out sealed), so the final aggregate phase now vectorizes too:
+//     it merges accumulator batches straight off the exchange. A shuffle
+//     GROUP BY is columnar from scan through final merge;
+//   - outer joins always stay row-based.
 //
 // Mixed plans need no glue: every vectorized operator accepts row parents
 // through the batch adapters and presents a row iterator to row parents,
@@ -61,7 +66,14 @@ func vectorize(e physical.Exec, batchSink bool) physical.Exec {
 		}
 		return physical.NewProject(vectorize(t.Child, false), t.Exprs, t.Schema())
 	case *physical.HashAggExec:
-		if t.Mode != physical.AggFinal && allVectorizable(t.Groups) && aggsVectorizable(t.Aggs) {
+		if t.Mode == physical.AggFinal {
+			// The final merge is positional (leading group columns,
+			// accumulator columns after) — no expression compilation, so
+			// it vectorizes regardless of what the aggregates compute, and
+			// its child exchange sees a batch sink.
+			return physical.NewVecHashAgg(vectorize(t.Child, true), t.Groups, t.Aggs, t.Mode, t.Schema())
+		}
+		if allVectorizable(t.Groups) && aggsVectorizable(t.Aggs) {
 			return physical.NewVecHashAgg(vectorize(t.Child, true), t.Groups, t.Aggs, t.Mode, t.Schema())
 		}
 		return physical.NewHashAgg(vectorize(t.Child, false), t.Groups, t.Aggs, t.Mode, t.Schema())
@@ -98,6 +110,12 @@ func vectorize(e physical.Exec, batchSink bool) physical.Exec {
 	case *physical.LimitExec:
 		return physical.NewLimit(vectorize(t.Child, false), t.N)
 	case *physical.ExchangeExec:
+		if batchSink {
+			// The consumer ingests batches, so keep the stage boundary
+			// columnar: the child feeds the scatter kernel batch-at-a-time
+			// and the consumer splices the reduce-side batch stream.
+			return physical.NewVecExchange(vectorize(t.Child, true), t.Keys, t.NumPartitions)
+		}
 		return physical.NewExchange(vectorize(t.Child, false), t.Keys, t.NumPartitions)
 	case *physical.UnionExec:
 		ins := make([]physical.Exec, len(t.Inputs))

@@ -258,6 +258,25 @@ func (l *LimitExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}), nil
 }
 
+// ExecuteStreaming returns only the per-partition local-limit stage,
+// skipping the gather shuffle and global truncation. Streaming cursors use
+// it when the limit sits at the plan root: the cursor truncates globally
+// at N delivered rows and tears the stream down, so partition tasks beyond
+// the ones that produced those rows never launch — the gather variant
+// would have computed every partition as a shuffle map stage up front.
+// Rows arrive in partition order either way, so the first N rows are the
+// same ones Execute's global limit keeps.
+func (l *LimitExec) ExecuteStreaming(ec *ExecContext) (rdd.RDD, error) {
+	child, err := l.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	n := l.N
+	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return &limitIter{in: in, left: n}, nil
+	}), nil
+}
+
 type limitIter struct {
 	in   sqltypes.RowIter
 	left int64
@@ -314,6 +333,46 @@ func (e *ExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{}), nil
 	}
 	return ec.RDD.NewShuffledRDD(child, keyPartitioner(e.Keys, e.NumPartitions)), nil
+}
+
+// VecExchangeExec is the columnar ExchangeExec: rows cross the shuffle as
+// sealed column-major batches (map side scatters batches column-wise on a
+// vectorized key hash, reduce side streams each map task's bucket back
+// out), so a vectorized producer and consumer keep the data columnar
+// straight through the stage boundary. Row operators on either side still
+// work — the exchange batches a row child at the map side and presents a
+// row shim at the reduce side.
+type VecExchangeExec struct {
+	Child         Exec
+	Keys          []int
+	NumPartitions int
+}
+
+// NewVecExchange builds a columnar hash exchange.
+func NewVecExchange(child Exec, keys []int, numPartitions int) *VecExchangeExec {
+	return &VecExchangeExec{Child: child, Keys: keys, NumPartitions: numPartitions}
+}
+
+// Schema implements Exec.
+func (e *VecExchangeExec) Schema() *sqltypes.Schema { return e.Child.Schema() }
+
+// Children implements Exec.
+func (e *VecExchangeExec) Children() []Exec { return []Exec{e.Child} }
+
+func (e *VecExchangeExec) String() string {
+	if len(e.Keys) == 0 {
+		return "VecExchange single"
+	}
+	return fmt.Sprintf("VecExchange hash%v n=%d", e.Keys, e.NumPartitions)
+}
+
+// Execute implements Exec.
+func (e *VecExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := e.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	return ec.RDD.NewBatchShuffledRDD(child, e.Child.Schema(), e.Keys, e.NumPartitions), nil
 }
 
 // ---------------------------------------------------------------------------

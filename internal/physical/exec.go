@@ -87,6 +87,49 @@ func TreeString(e Exec) string {
 	return sb.String()
 }
 
+// ReferencedTables returns the names of every catalog table and
+// materialized view a compiled plan reads, deduplicated. The session's
+// plan cache keys its invalidation on this set: DDL touching one table
+// purges only the cached plans that actually reference it.
+func ReferencedTables(e Exec) []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	var walk func(Exec)
+	walk = func(node Exec) {
+		switch t := node.(type) {
+		case *ColumnarScanExec:
+			add(t.Table.Name())
+		case *VecColumnarScanExec:
+			add(t.Table.Name())
+		case *IndexedScanExec:
+			add(t.Table.Name())
+		case *VecIndexedScanExec:
+			add(t.Table.Name())
+		case *IndexLookupExec:
+			add(t.Table.Name())
+		case *IndexedJoinExec:
+			add(t.Indexed.Name())
+		case *VecIndexedJoinExec:
+			add(t.Indexed.Name())
+		case *ViewScanExec:
+			add(t.View.Name())
+		case *VecViewScanExec:
+			add(t.View.Name())
+		}
+		for _, c := range node.Children() {
+			walk(c)
+		}
+	}
+	walk(e)
+	return names
+}
+
 // NormalizeKey canonicalizes a value for use as a join/group key; it is
 // core.NormalizeKey so probe keys collide with index keys.
 func NormalizeKey(v sqltypes.Value) sqltypes.Value { return core.NormalizeKey(v) }
@@ -142,23 +185,16 @@ func keyOf(row sqltypes.Row, ordinal int) sqltypes.Value {
 
 // rowKeyHash hashes the composite key of the given ordinals — the shuffle
 // partitioning function for multi-column keys. It combines the normalized
-// per-value hashes, so no key bytes are materialized per row.
+// per-value hashes with the shared sqltypes combiner (the columnar
+// exchange's batch kernel uses the same one), so no key bytes are
+// materialized per row and both exchanges route identically.
 func rowKeyHash(row sqltypes.Row, ordinals []int) uint64 {
-	h := uint64(fnvOffset64)
+	h := sqltypes.HashSeed
 	for _, o := range ordinals {
-		x := NormalizeKey(row[o]).Hash64()
-		for i := 0; i < 8; i++ {
-			h = (h ^ uint64(byte(x))) * fnvPrime64
-			x >>= 8
-		}
+		h = sqltypes.CombineHash(h, NormalizeKey(row[o]).Hash64())
 	}
 	return h
 }
-
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
 
 // keyPartitioner builds the hash partitioner for the given key ordinals:
 // single-column keys route by the normalized value's hash (matching the

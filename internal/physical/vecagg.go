@@ -10,14 +10,17 @@ import (
 	"indexeddf/internal/vector"
 )
 
-// VecHashAggExec is the vectorized hash aggregate for the Partial and
-// Complete phases (the Final phase sits behind a shuffle, whose input is
-// row-based and small — one row per group — so it stays row-at-a-time).
+// VecHashAggExec is the vectorized hash aggregate for all three phases.
+// Partial and Complete evaluate group/argument expressions as whole
+// vectors before the fold loop; Final sits behind the columnar exchange
+// and merges accumulator batches directly — group keys are the leading
+// columns, accumulator columns are folded lane-wise into the group table,
+// so a shuffle GROUP BY stays columnar from scan through final merge.
 //
 // Group keys are encoded batch-at-a-time into one reusable buffer and
 // probed with a zero-allocation map lookup; only a first-seen group
-// allocates (its key string and accumulators). Aggregate arguments are
-// evaluated as whole vectors before the fold loop.
+// allocates (its key string and accumulators). A single integer-family
+// group key skips encoding entirely (int64 map fast path).
 type VecHashAggExec struct {
 	Child  Exec
 	Groups []expr.Expr
@@ -26,8 +29,7 @@ type VecHashAggExec struct {
 	schema *sqltypes.Schema
 }
 
-// NewVecHashAgg builds a vectorized hash aggregate (Mode must be AggPartial
-// or AggComplete).
+// NewVecHashAgg builds a vectorized hash aggregate.
 func NewVecHashAgg(child Exec, groups []expr.Expr, aggs []expr.Agg, mode AggMode, outSchema *sqltypes.Schema) *VecHashAggExec {
 	return &VecHashAggExec{Child: child, Groups: groups, Aggs: aggs, Mode: mode, schema: outSchema}
 }
@@ -45,14 +47,20 @@ func (h *VecHashAggExec) String() string {
 
 // Execute implements Exec.
 func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
-	if h.Mode == AggFinal {
-		return nil, fmt.Errorf("physical: VecHashAgg does not implement the final phase")
-	}
 	child, err := h.Child.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	inSchema := h.Child.Schema()
+	if h.Mode == AggFinal {
+		// The final merge needs no expression compilation: group keys are
+		// the leading columns of the accumulator schema and the aggregate
+		// state columns follow positionally.
+		intKey := len(h.Groups) == 1 && inSchema.Fields[0].Type.IntLane()
+		return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+			return h.mergeFinal(in, intKey)
+		}), nil
+	}
 	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		groups := make([]*expr.VecExpr, len(h.Groups))
 		for i, g := range h.Groups {
@@ -157,11 +165,132 @@ func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*
 			}
 		}
 	}
-	// Global aggregates emit one row even with no input (Complete mode).
+	return h.render(order)
+}
+
+// mergeFinal is the post-exchange merge phase: each input batch carries
+// accumulator rows (group keys leading, aggregate state following), and
+// every row is folded column-wise into the group table. Only the group
+// probe touches per-row values; numeric accumulator columns are read
+// straight from their typed lanes.
+func (h *VecHashAggExec) mergeFinal(in vector.BatchIter, intKey bool) (vector.BatchIter, error) {
+	table := map[string]*aggGroup{}
+	intTable := map[int64]*aggGroup{}
+	var nullGroup *aggGroup
+	var order []*aggGroup
+	ga := groupAlloc{nAggs: len(h.Aggs)}
+	var keyBuf []byte
+	ng := len(h.Groups)
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			var g *aggGroup
+			if intKey {
+				gv := b.Cols[0]
+				if gv.IsNull(i) {
+					if nullGroup == nil {
+						nullGroup = ga.new(sqltypes.Row{sqltypes.Null})
+						order = append(order, nullGroup)
+					}
+					g = nullGroup
+				} else {
+					k := gv.Int64s()[i]
+					var ok bool
+					if g, ok = intTable[k]; !ok {
+						g = ga.new(sqltypes.Row{gv.Get(i)})
+						intTable[k] = g
+						order = append(order, g)
+					}
+				}
+			} else {
+				keyBuf = keyBuf[:0]
+				for c := 0; c < ng; c++ {
+					keyBuf = AppendValueKey(keyBuf, b.Cols[c].Get(i))
+				}
+				var ok bool
+				if g, ok = table[string(keyBuf)]; !ok {
+					keys := make(sqltypes.Row, ng)
+					for c := 0; c < ng; c++ {
+						keys[c] = b.Cols[c].Get(i)
+					}
+					g = ga.new(keys)
+					table[string(keyBuf)] = g
+					order = append(order, g)
+				}
+			}
+			mergeAccCols(h.Aggs, ng, g, b, i)
+		}
+	}
+	return h.render(order)
+}
+
+// mergeAccCols folds row i of an accumulator batch into g — the columnar
+// counterpart of mergeAccs.
+func mergeAccCols(aggs []expr.Agg, groupLen int, g *aggGroup, b *vector.Batch, i int) {
+	pos := groupLen
+	for ai, a := range aggs {
+		ac := &g.accs[ai]
+		switch a.Func {
+		case expr.CountAgg, expr.CountStarAgg:
+			ac.count += b.Cols[pos].Int64s()[i]
+			pos++
+		case expr.SumAgg:
+			col := b.Cols[pos]
+			pos++
+			if col.IsNull(i) {
+				continue
+			}
+			ac.count++
+			if a.ResultType() == sqltypes.Float64 {
+				ac.sumF += col.Float64s()[i]
+			} else {
+				ac.sumI += col.Int64s()[i]
+			}
+		case expr.MinAgg:
+			col := b.Cols[pos]
+			pos++
+			if col.IsNull(i) {
+				continue
+			}
+			v := col.Get(i)
+			if ac.min.IsNull() || sqltypes.Compare(v, ac.min) < 0 {
+				ac.min = v
+			}
+		case expr.MaxAgg:
+			col := b.Cols[pos]
+			pos++
+			if col.IsNull(i) {
+				continue
+			}
+			v := col.Get(i)
+			if ac.max.IsNull() || sqltypes.Compare(v, ac.max) > 0 {
+				ac.max = v
+			}
+		case expr.AvgAgg:
+			sums, cnts := b.Cols[pos], b.Cols[pos+1]
+			pos += 2
+			if !sums.IsNull(i) {
+				ac.sumF += sums.Float64s()[i]
+			}
+			ac.count += cnts.Int64s()[i]
+		}
+	}
+}
+
+// render materializes the group table as dense result batches; a global
+// aggregate emits one default row even with no input (Final and Complete
+// modes, which run on the single post-exchange partition).
+func (h *VecHashAggExec) render(order []*aggGroup) (vector.BatchIter, error) {
 	if len(order) == 0 && len(h.Groups) == 0 && h.Mode != AggPartial {
 		order = append(order, &aggGroup{accs: make([]acc, len(h.Aggs))})
 	}
-	// Render result rows into dense batches.
 	var batches []*vector.Batch
 	var cur *vector.Batch
 	for _, g := range order {

@@ -224,7 +224,10 @@ func (j *VecShuffleHashJoinExec) String() string {
 	return fmt.Sprintf("VecShuffleHashJoin Inner lkeys=%v rkeys=%v", j.LeftKeys, j.RightKeys)
 }
 
-// Execute implements Exec.
+// Execute implements Exec. Both sides cross the columnar exchange: the
+// probe side's batches splice straight through to the vectorized probe,
+// and the build side's batches are materialized into the hash table at
+// the reduce task (the one remaining row conversion on this path).
 func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	left, err := j.Left.Execute(ec)
 	if err != nil {
@@ -234,8 +237,8 @@ func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	ls := ec.RDD.NewShuffledRDD(left, keyPartitioner(j.LeftKeys, j.NumPartitions))
-	rs := ec.RDD.NewShuffledRDD(right, keyPartitioner(j.RightKeys, j.NumPartitions))
+	ls := ec.RDD.NewBatchShuffledRDD(left, j.Left.Schema(), j.LeftKeys, j.NumPartitions)
+	rs := ec.RDD.NewBatchShuffledRDD(right, j.Right.Schema(), j.RightKeys, j.NumPartitions)
 	leftSchema := j.Left.Schema()
 	outSchema := j.Schema()
 	lKeys, rKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
@@ -333,9 +336,11 @@ func (j *VecIndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			return mkIter(batchRows(routed[p], nil, probeSchema), p)
 		}), nil
 	}
-	// Shuffle mode: hash the probe side with the index's partitioning.
-	part := keyPartitioner([]int{j.ProbeKey}, n)
-	shuffled := ec.RDD.NewShuffledRDD(probeRDD, part)
+	// Shuffle mode: the probe side crosses the columnar exchange keyed on
+	// the probe column — the batch hash kernel routes exactly like the
+	// index partitioning (snapshot.PartitionFor), so each reduce task
+	// probes its co-partitioned Ctrie with spliced-through batches.
+	shuffled := ec.RDD.NewBatchShuffledRDD(probeRDD, probeSchema, []int{j.ProbeKey}, n)
 	return ec.RDD.NewBatchIterRDD(shuffled, 0, probeSchema, func(_ *rdd.TaskContext, p int, in vector.BatchIter) (vector.BatchIter, error) {
 		return mkIter(in, p)
 	}), nil

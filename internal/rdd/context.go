@@ -9,6 +9,7 @@ import (
 
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/storage"
+	"indexeddf/internal/vector"
 )
 
 // Context is the engine's "SparkContext": it owns id allocation, the
@@ -274,19 +275,28 @@ func (c *Context) ensureShuffles(ctx context.Context, r RDD, visiting map[int]bo
 	return nil
 }
 
-// runShuffleStage computes the map side of a shuffle: each parent partition
-// is computed and its rows bucketed by the partitioner into the shuffle
-// service. Idempotent per shuffle id.
+// runShuffleStage computes the map side of a shuffle: each parent
+// partition is computed and bucketed by reducer into the shuffle service —
+// row-at-a-time through the partitioner for a row exchange, column-wise
+// through the scatter kernel for a columnar exchange. Idempotent per
+// shuffle id.
 func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) error {
 	return c.shuffles.RunOnce(dep.ShuffleID, func() error {
 		parent := dep.P
-		nReduce := dep.Partitioner.NumPartitions()
+		nReduce := dep.numReduce()
 		return c.parallelFor(ctx, parent.NumPartitions(), func(mapPart int) error {
 			c.tasksStarted.Add(1)
 			tc := &TaskContext{Ctx: c, Partition: mapPart, ctx: ctx}
 			it, err := parent.Compute(tc, mapPart)
 			if err != nil {
 				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			}
+			if dep.Batch != nil {
+				if err := c.batchMapTask(ctx, dep, mapPart, it, nReduce); err != nil {
+					return err
+				}
+				c.tasksCompleted.Add(1)
+				return nil
 			}
 			buckets := make([][]sqltypes.Row, nReduce)
 			for n := 0; ; n++ {
@@ -305,20 +315,56 @@ func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) e
 				b := dep.Partitioner.PartitionFor(row)
 				buckets[b] = append(buckets[b], row)
 			}
-			c.shuffles.Write(dep.ShuffleID, mapPart, buckets)
+			c.shuffles.WriteRows(dep.ShuffleID, mapPart, buckets)
 			c.tasksCompleted.Add(1)
 			return nil
 		})
 	})
 }
 
+// batchMapTask is the map side of a columnar exchange: the parent's
+// output is viewed as a batch stream (spliced through untouched when the
+// parent operator is vectorized, gathered into batches otherwise) and
+// scattered column-wise into per-reducer builders.
+func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapPart int,
+	it sqltypes.RowIter, nReduce int) error {
+	bi := vector.AsBatchIter(it, dep.Batch.Schema, vector.DefaultBatchSize)
+	sc := vector.NewScatter(dep.Batch.Schema, dep.Batch.Ords, nReduce)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := bi.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		sc.Add(b)
+	}
+	c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sc.Seal())
+	return nil
+}
+
 // ShuffleManager is the in-memory shuffle service: map tasks write hashed
-// buckets, reduce tasks fetch the bucket for their partition from every map
-// output.
+// buckets (row slices or sealed columnar batches), reduce tasks stream the
+// bucket for their partition out of every map output. Each shuffle's
+// outputs sit behind their own RWMutex, so reduce-side readers from many
+// partitions proceed in parallel — with each other and with map writes of
+// other tasks — instead of serializing on one service-wide lock.
 type ShuffleManager struct {
-	mu      sync.Mutex
-	outputs map[int]map[int][][]sqltypes.Row // shuffleID -> mapPart -> reducePart -> rows
-	stages  map[int]*shuffleStage
+	mu       sync.Mutex
+	shuffles map[int]*shuffleOutput
+	stages   map[int]*shuffleStage
+}
+
+// shuffleOutput holds one shuffle's map outputs. rows and batches are
+// mutually exclusive per shuffle (set by the dependency flavor).
+type shuffleOutput struct {
+	mu      sync.RWMutex
+	rows    map[int][][]sqltypes.Row  // mapPart -> reducer -> rows
+	batches map[int][][]*vector.Batch // mapPart -> reducer -> sealed batches
 }
 
 type shuffleStage struct {
@@ -329,8 +375,8 @@ type shuffleStage struct {
 // NewShuffleManager returns an empty shuffle service.
 func NewShuffleManager() *ShuffleManager {
 	return &ShuffleManager{
-		outputs: make(map[int]map[int][][]sqltypes.Row),
-		stages:  make(map[int]*shuffleStage),
+		shuffles: make(map[int]*shuffleOutput),
+		stages:   make(map[int]*shuffleStage),
 	}
 }
 
@@ -347,43 +393,215 @@ func (m *ShuffleManager) RunOnce(shuffleID int, f func() error) error {
 	return st.err
 }
 
-// Write records one map task's buckets.
-func (m *ShuffleManager) Write(shuffleID, mapPart int, buckets [][]sqltypes.Row) {
+// output returns (creating on demand) the per-shuffle output store.
+func (m *ShuffleManager) output(shuffleID int) *shuffleOutput {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	byMap, ok := m.outputs[shuffleID]
+	out, ok := m.shuffles[shuffleID]
 	if !ok {
-		byMap = make(map[int][][]sqltypes.Row)
-		m.outputs[shuffleID] = byMap
+		out = &shuffleOutput{}
+		m.shuffles[shuffleID] = out
 	}
-	byMap[mapPart] = buckets
+	return out
 }
 
-// Fetch concatenates reduce partition p across all map outputs.
-func (m *ShuffleManager) Fetch(shuffleID, p int) ([]sqltypes.Row, error) {
+// lookup returns the shuffle's output store without creating it.
+func (m *ShuffleManager) lookup(shuffleID int) (*shuffleOutput, bool) {
 	m.mu.Lock()
-	byMap, ok := m.outputs[shuffleID]
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	out, ok := m.shuffles[shuffleID]
+	return out, ok
+}
+
+// WriteRows records one map task's row buckets.
+func (m *ShuffleManager) WriteRows(shuffleID, mapPart int, buckets [][]sqltypes.Row) {
+	out := m.output(shuffleID)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	if out.rows == nil {
+		out.rows = make(map[int][][]sqltypes.Row)
+	}
+	out.rows[mapPart] = buckets
+}
+
+// WriteBatches records one map task's columnar buckets.
+func (m *ShuffleManager) WriteBatches(shuffleID, mapPart int, buckets [][]*vector.Batch) {
+	out := m.output(shuffleID)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	if out.batches == nil {
+		out.batches = make(map[int][][]*vector.Batch)
+	}
+	out.batches[mapPart] = buckets
+}
+
+// rowBucket returns map task mapPart's bucket for reducer p, or ok=false
+// when that map task has not written (the reader is past the last map).
+func (o *shuffleOutput) rowBucket(mapPart, p int) ([]sqltypes.Row, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	buckets, ok := o.rows[mapPart]
+	if !ok {
+		return nil, false
+	}
+	if p >= len(buckets) {
+		return nil, true
+	}
+	return buckets[p], true
+}
+
+// batchBucket is rowBucket for a columnar shuffle.
+func (o *shuffleOutput) batchBucket(mapPart, p int) ([]*vector.Batch, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	buckets, ok := o.batches[mapPart]
+	if !ok {
+		return nil, false
+	}
+	if p >= len(buckets) {
+		return nil, true
+	}
+	return buckets[p], true
+}
+
+// OpenRowReader streams reduce partition p's rows one map-task bucket at a
+// time: each bucket is picked up under the shuffle's read lock when the
+// reader gets to it, so concurrent reduce tasks never serialize on a
+// whole-fetch concatenation. The reader polls tc for cancellation between
+// buckets. Map outputs must be complete (the scheduler runs the map stage
+// to completion before reduce tasks start).
+func (m *ShuffleManager) OpenRowReader(shuffleID, p int, tc *TaskContext) (sqltypes.RowIter, error) {
+	out, ok := m.lookup(shuffleID)
 	if !ok {
 		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
 	}
-	var out []sqltypes.Row
-	for mapPart := 0; ; mapPart++ {
-		buckets, ok := byMap[mapPart]
-		if !ok {
-			break
-		}
-		if p < len(buckets) {
-			out = append(out, buckets[p]...)
+	return &shuffleRowReader{out: out, reducer: p, tc: tc}, nil
+}
+
+// OpenBatchReader is OpenRowReader for a columnar shuffle: the reduce side
+// streams each map task's sealed batches in map order.
+func (m *ShuffleManager) OpenBatchReader(shuffleID, p int, tc *TaskContext) (vector.BatchIter, error) {
+	out, ok := m.lookup(shuffleID)
+	if !ok {
+		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
+	}
+	return &shuffleBatchReader{out: out, reducer: p, tc: tc}, nil
+}
+
+// Fetch concatenates reduce partition p across all map outputs (kept for
+// tests and row-bulk callers; the execution path streams through
+// OpenRowReader instead). On a columnar shuffle the sealed batches are
+// materialized into rows.
+func (m *ShuffleManager) Fetch(shuffleID, p int) ([]sqltypes.Row, error) {
+	out, ok := m.lookup(shuffleID)
+	if !ok {
+		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
+	}
+	out.mu.RLock()
+	columnar := out.batches != nil
+	out.mu.RUnlock()
+	var rows []sqltypes.Row
+	if columnar {
+		for mapPart := 0; ; mapPart++ {
+			bucket, ok := out.batchBucket(mapPart, p)
+			if !ok {
+				return rows, nil
+			}
+			for _, b := range bucket {
+				for i := 0; i < b.Len(); i++ {
+					rows = append(rows, b.Row(i))
+				}
+			}
 		}
 	}
-	return out, nil
+	for mapPart := 0; ; mapPart++ {
+		bucket, ok := out.rowBucket(mapPart, p)
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, bucket...)
+	}
+}
+
+// shuffleRowReader iterates reduce partition reducer's rows across map
+// outputs, holding the shuffle lock only to look one bucket up.
+type shuffleRowReader struct {
+	out     *shuffleOutput
+	reducer int
+	tc      *TaskContext
+	mapPart int
+	cur     []sqltypes.Row
+	pos     int
+	done    bool
+}
+
+// Next implements sqltypes.RowIter.
+func (r *shuffleRowReader) Next() (sqltypes.Row, error) {
+	for {
+		if r.pos < len(r.cur) {
+			row := r.cur[r.pos]
+			r.pos++
+			return row, nil
+		}
+		if r.done {
+			return nil, nil
+		}
+		if err := r.tc.Err(); err != nil {
+			return nil, err
+		}
+		bucket, ok := r.out.rowBucket(r.mapPart, r.reducer)
+		if !ok {
+			r.done = true
+			return nil, nil
+		}
+		r.mapPart++
+		r.cur, r.pos = bucket, 0
+	}
+}
+
+// shuffleBatchReader streams reduce partition reducer's sealed batches
+// across map outputs.
+type shuffleBatchReader struct {
+	out     *shuffleOutput
+	reducer int
+	tc      *TaskContext
+	mapPart int
+	cur     []*vector.Batch
+	pos     int
+	done    bool
+}
+
+// Next implements vector.BatchIter.
+func (r *shuffleBatchReader) Next() (*vector.Batch, error) {
+	for {
+		if r.pos < len(r.cur) {
+			b := r.cur[r.pos]
+			r.pos++
+			if b.Len() > 0 {
+				return b, nil
+			}
+			continue
+		}
+		if r.done {
+			return nil, nil
+		}
+		if err := r.tc.Err(); err != nil {
+			return nil, err
+		}
+		bucket, ok := r.out.batchBucket(r.mapPart, r.reducer)
+		if !ok {
+			r.done = true
+			return nil, nil
+		}
+		r.mapPart++
+		r.cur, r.pos = bucket, 0
+	}
 }
 
 // Drop releases a shuffle's outputs (between benchmark iterations).
 func (m *ShuffleManager) Drop(shuffleID int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.outputs, shuffleID)
+	delete(m.shuffles, shuffleID)
 	delete(m.stages, shuffleID)
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
 )
 
 // RDD is a partitioned dataset of rows. Compute produces one partition's
@@ -43,12 +44,39 @@ func (d OneToOne) Parent() RDD { return d.P }
 type ShuffleDependency struct {
 	P         RDD
 	ShuffleID int
-	// Partitioner routes each parent row to a reduce partition.
+	// Partitioner routes each parent row to a reduce partition (row
+	// exchanges only; nil when Batch is set).
 	Partitioner Partitioner
+	// Batch, when non-nil, makes this a columnar exchange: map tasks
+	// scatter column-major batches (hashing the key columns with the
+	// vectorized kernel, the sole routing function — there is no row
+	// fallback) and reduce tasks stream sealed batches back out, so data
+	// stays columnar across the stage boundary.
+	Batch *BatchExchange
+}
+
+// BatchExchange configures a columnar shuffle dependency.
+type BatchExchange struct {
+	// Schema is the parent's row schema (row-producing parents are
+	// gathered into batches of this shape at the map side).
+	Schema *sqltypes.Schema
+	// Ords are the key column ordinals; empty routes everything to
+	// reduce partition 0 (the single-partition gather).
+	Ords []int
+	// N is the reduce-side partition count.
+	N int
 }
 
 // Parent implements Dependency.
 func (d *ShuffleDependency) Parent() RDD { return d.P }
+
+// numReduce returns the dependency's reduce-side partition count.
+func (d *ShuffleDependency) numReduce() int {
+	if d.Batch != nil {
+		return d.Batch.N
+	}
+	return d.Partitioner.NumPartitions()
+}
 
 // Partitioner maps a row to a partition in [0, NumPartitions).
 type Partitioner interface {
@@ -229,22 +257,46 @@ func (c *Context) NewShuffledRDD(parent RDD, part Partitioner) *ShuffledRDD {
 	return &ShuffledRDD{id: c.nextRDDID(), dep: dep}
 }
 
+// NewBatchShuffledRDD repartitions parent through the columnar exchange:
+// map tasks scatter batches by hashing the key ordinals (all rows to
+// reduce partition 0 when ords is empty), and Compute serves the reduce
+// side as a batch stream behind a row-iterator shim — a vectorized
+// consumer splices the batches back out through vector.AsBatchIter, a row
+// consumer just reads rows.
+func (c *Context) NewBatchShuffledRDD(parent RDD, schema *sqltypes.Schema, ords []int, nReduce int) *ShuffledRDD {
+	if len(ords) == 0 {
+		nReduce = 1
+	}
+	dep := &ShuffleDependency{
+		P:         parent,
+		ShuffleID: c.nextShuffleID(),
+		Batch:     &BatchExchange{Schema: schema, Ords: ords, N: nReduce},
+	}
+	return &ShuffledRDD{id: c.nextRDDID(), dep: dep}
+}
+
 // ID implements RDD.
 func (r *ShuffledRDD) ID() int { return r.id }
 
 // NumPartitions implements RDD.
-func (r *ShuffledRDD) NumPartitions() int { return r.dep.Partitioner.NumPartitions() }
+func (r *ShuffledRDD) NumPartitions() int { return r.dep.numReduce() }
 
 // Dependencies implements RDD.
 func (r *ShuffledRDD) Dependencies() []Dependency { return []Dependency{r.dep} }
 
-// Compute implements RDD.
+// Compute implements RDD. Both exchange flavors stream the reduce side one
+// map task's bucket at a time instead of concatenating everything up
+// front; the columnar flavor additionally presents its batches behind a
+// row shim that vectorized consumers splice away.
 func (r *ShuffledRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
-	rows, err := tc.Ctx.shuffles.Fetch(r.dep.ShuffleID, p)
-	if err != nil {
-		return nil, err
+	if r.dep.Batch != nil {
+		br, err := tc.Ctx.shuffles.OpenBatchReader(r.dep.ShuffleID, p, tc)
+		if err != nil {
+			return nil, err
+		}
+		return vector.NewRowIter(br), nil
 	}
-	return sqltypes.NewSliceIter(rows), nil
+	return tc.Ctx.shuffles.OpenRowReader(r.dep.ShuffleID, p, tc)
 }
 
 // UnionRDD concatenates the partitions of several parents.

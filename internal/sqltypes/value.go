@@ -268,24 +268,55 @@ func fnvUint64(h, x uint64) uint64 {
 // compare equal hash equally (integers hash by their int64 payload). The
 // hash is deterministic across processes so partition layouts reproduce.
 func (v Value) Hash64() uint64 {
-	h := uint64(fnvOffset64)
 	switch v.T {
 	case Unknown:
-		return fnvMix(h, 0xff)
+		return HashNull()
 	case Bool, Int32, Int64, Timestamp:
-		return fnvUint64(h, uint64(v.I))
+		return HashInt64(v.I)
 	case Float64:
-		f := v.F
-		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
-			// Integral doubles hash like the equal integer.
-			return fnvUint64(h, uint64(int64(f)))
-		}
-		return fnvUint64(h, math.Float64bits(f))
+		return HashFloat64(v.F)
 	case String:
-		for i := 0; i < len(v.S); i++ {
-			h = fnvMix(h, v.S[i])
-		}
-		return h
+		return HashString(v.S)
+	}
+	return HashSeed
+}
+
+// The payload hash primitives below are Hash64 broken out by lane so the
+// vectorized exchange can hash column payloads directly (no Value boxing)
+// while routing rows to exactly the partitions the row-at-a-time
+// HashPartitioner picks. Any change here changes partition layouts for
+// both engines together.
+
+// HashSeed is the hash state every value hash starts from (the FNV-1a
+// offset basis); CombineHash folds per-column hashes into it for
+// composite keys.
+const HashSeed uint64 = fnvOffset64
+
+// CombineHash folds x into the running hash h byte-by-byte (FNV-1a) —
+// the composite-key combiner shared by the row and columnar exchanges.
+func CombineHash(h, x uint64) uint64 { return fnvUint64(h, x) }
+
+// HashInt64 hashes an integer-family payload (Bool/Int32/Int64/Timestamp
+// lanes all hash by their widened int64).
+func HashInt64(x int64) uint64 { return fnvUint64(HashSeed, uint64(x)) }
+
+// HashFloat64 hashes a Float64 payload; integral doubles hash like the
+// equal integer so SQL-equal numerics land in the same partition.
+func HashFloat64(f float64) uint64 {
+	if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+		return fnvUint64(HashSeed, uint64(int64(f)))
+	}
+	return fnvUint64(HashSeed, math.Float64bits(f))
+}
+
+// HashString hashes a String payload.
+func HashString(s string) uint64 {
+	h := HashSeed
+	for i := 0; i < len(s); i++ {
+		h = fnvMix(h, s[i])
 	}
 	return h
 }
+
+// HashNull is the hash of SQL NULL (all NULLs route together).
+func HashNull() uint64 { return fnvMix(HashSeed, 0xff) }

@@ -1,0 +1,201 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexeddf/internal/sqltypes"
+)
+
+// drainBuilderRows materializes sealed batches back into rows.
+func drainBuilderRows(batches []*Batch) []sqltypes.Row {
+	var out []sqltypes.Row
+	for _, b := range batches {
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+	return out
+}
+
+// TestBatchBuilderSealsAndRoundTrips: rows appended through selection
+// vectors come back exactly, split into target-size batches.
+func TestBatchBuilderSealsAndRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := randomRows(rng, 700)
+	src := NewBatch(testSchema())
+	for _, r := range rows {
+		if err := src.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bld := NewBatchBuilder(testSchema(), 256)
+	// Append in two uneven selections to cross seal boundaries mid-call.
+	sel := make([]int, 0, len(rows))
+	for i := range rows {
+		sel = append(sel, i)
+	}
+	bld.AppendSelected(src, sel[:123])
+	bld.AppendSelected(src, sel[123:])
+	sealed := bld.Seal()
+	if len(sealed) != 3 { // ceil(700/256)
+		t.Fatalf("sealed %d batches, want 3", len(sealed))
+	}
+	for i, b := range sealed[:2] {
+		if b.Len() != 256 {
+			t.Fatalf("sealed batch %d has %d rows, want 256", i, b.Len())
+		}
+	}
+	got := drainBuilderRows(sealed)
+	if len(got) != len(rows) {
+		t.Fatalf("round-tripped %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i].String() != rows[i].String() {
+			t.Fatalf("row %d: got %s want %s", i, got[i], rows[i])
+		}
+	}
+	// The builder is reusable after Seal.
+	bld.AppendSelected(src, sel[:10])
+	if again := drainBuilderRows(bld.Seal()); len(again) != 10 {
+		t.Fatalf("reused builder sealed %d rows, want 10", len(again))
+	}
+}
+
+// TestHashColumnsMatchesValueHash: the lane-wise kernel must agree with
+// Value.Hash64 (single key) and the CombineHash fold (composite key) on
+// every type and on NULLs — partition layouts of the two engines depend
+// on it.
+func TestHashColumnsMatchesValueHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := randomRows(rng, 500)
+	b := NewBatch(testSchema())
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col := 0; col < testSchema().Len(); col++ {
+		hashes := HashColumns(b, []int{col}, nil)
+		for i, r := range rows {
+			if want := r[col].Hash64(); hashes[i] != want {
+				t.Fatalf("col %d row %d (%s): kernel hash %d, Value.Hash64 %d",
+					col, i, r[col], hashes[i], want)
+			}
+		}
+	}
+	// Composite key over every column.
+	ords := []int{0, 1, 2, 3, 4, 5}
+	hashes := HashColumns(b, ords, nil)
+	for i, r := range rows {
+		want := sqltypes.HashSeed
+		for _, o := range ords {
+			want = sqltypes.CombineHash(want, r[o].Hash64())
+		}
+		if hashes[i] != want {
+			t.Fatalf("composite row %d: kernel hash %d, row fold %d", i, hashes[i], want)
+		}
+	}
+}
+
+// TestScatterPartitionsLikeRowHash: every row lands in the reducer its
+// value hash picks, order within a reducer is preserved, and nothing is
+// lost or duplicated.
+func TestScatterPartitionsLikeRowHash(t *testing.T) {
+	const nReduce = 7
+	rng := rand.New(rand.NewSource(23))
+	rows := randomRows(rng, 2_500)
+	sc := NewScatter(testSchema(), []int{2}, nReduce) // key on the i64 column
+	in := NewBatch(testSchema())
+	for i, r := range rows {
+		if err := in.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+		if in.Len() == DefaultBatchSize || i == len(rows)-1 {
+			sc.Add(in)
+			in = NewBatch(testSchema())
+		}
+	}
+	buckets := sc.Seal()
+	if len(buckets) != nReduce {
+		t.Fatalf("scatter produced %d reducers, want %d", len(buckets), nReduce)
+	}
+	want := make([][]string, nReduce)
+	for _, r := range rows {
+		p := r[2].Hash64() % nReduce
+		want[p] = append(want[p], r.String())
+	}
+	total := 0
+	for p, bs := range buckets {
+		got := drainBuilderRows(bs)
+		total += len(got)
+		if len(got) != len(want[p]) {
+			t.Fatalf("reducer %d holds %d rows, want %d", p, len(got), len(want[p]))
+		}
+		for i, r := range got {
+			if r.String() != want[p][i] {
+				t.Fatalf("reducer %d row %d: got %s want %s", p, i, r.String(), want[p][i])
+			}
+		}
+	}
+	if total != len(rows) {
+		t.Fatalf("scatter kept %d of %d rows", total, len(rows))
+	}
+}
+
+// TestScatterSinglePartition: an empty key set routes everything, in
+// order, to reducer 0 (the gather exchange).
+func TestScatterSinglePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := randomRows(rng, 100)
+	sc := NewScatter(testSchema(), nil, 1)
+	b := NewBatch(testSchema())
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc.Add(b)
+	buckets := sc.Seal()
+	got := drainBuilderRows(buckets[0])
+	if len(got) != len(rows) {
+		t.Fatalf("gather kept %d of %d rows", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i].String() != rows[i].String() {
+			t.Fatalf("row %d: got %s want %s", i, got[i], rows[i])
+		}
+	}
+}
+
+// TestGrowPreservesNulls: Grow must keep previously written values and
+// null bits intact (Resize wipes the bitmap; Grow is the builder path).
+func TestGrowPreservesNulls(t *testing.T) {
+	schema := sqltypes.NewSchema(sqltypes.Field{Name: "x", Type: sqltypes.Int64, Nullable: true})
+	b := NewBatch(schema)
+	for i := 0; i < 100; i++ {
+		v := sqltypes.NewInt64(int64(i))
+		if i%3 == 0 {
+			v = sqltypes.Null
+		}
+		if err := b.AppendRow(sqltypes.Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := b.Cols[0]
+	col.Grow(50)
+	for i := 100; i < 150; i++ {
+		if col.IsNull(i) {
+			t.Fatalf("grown position %d born null", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		wantNull := i%3 == 0
+		if col.IsNull(i) != wantNull {
+			t.Fatalf("position %d null=%v after Grow, want %v", i, col.IsNull(i), wantNull)
+		}
+		if !wantNull && col.Int64s()[i] != int64(i) {
+			t.Fatalf("position %d payload %d after Grow, want %d", i, col.Int64s()[i], i)
+		}
+	}
+}

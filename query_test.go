@@ -69,6 +69,46 @@ func TestCursorStreamsBeforeJobCompletes(t *testing.T) {
 	}
 }
 
+// TestLimitStreamingEarlyTerminates: a cursor over LIMIT n stops the job
+// as soon as n rows are delivered — the remaining partition tasks are
+// never launched, instead of every partition being gathered first.
+func TestLimitStreamingEarlyTerminates(t *testing.T) {
+	const nRows, nParts = 200_000, 64
+	s, df := newStreamSession(t, nRows, nParts, 2)
+
+	base := s.Context().TasksStarted()
+	rows, err := df.Limit(5).Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []Row
+	for rows.Next() {
+		got = append(got, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("LIMIT 5 cursor delivered %d rows", len(got))
+	}
+	// Delivering 5 rows needed the first partition (plus whatever the
+	// 2-wide pool had already picked up) — nowhere near all 64.
+	started := s.Context().TasksStarted() - base
+	if started >= nParts/2 {
+		t.Fatalf("LIMIT 5 launched %d of %d partition tasks (want far fewer)", started, nParts)
+	}
+	// The truncated stream keeps Collect-order semantics: the same rows a
+	// full unlimited Collect puts first.
+	all, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(all[:5]) {
+		t.Fatalf("streamed LIMIT rows %v differ from Collect prefix %v", got, all[:5])
+	}
+}
+
 // TestCursorCloseCancelsRemainingTasks: closing the cursor after a few
 // rows stops the remaining partition tasks (task counter).
 func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
@@ -389,16 +429,42 @@ func TestPreparedPlanCacheReuse(t *testing.T) {
 	if hits < 1 {
 		t.Fatalf("plan cache hits = %d (misses %d), want >= 1", hits, misses)
 	}
-	// Catalog changes purge the cache.
+	// DDL on an unrelated table keeps the plan warm: invalidation is keyed
+	// by the tables a compiled plan references.
 	if _, err := s.CreateTable("other", bigSchema(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Prepare("SELECT id FROM users WHERE id = ?"); err != nil {
 		t.Fatal(err)
 	}
-	_, misses2 := s.PlanCacheStats()
-	if misses2 <= misses {
-		t.Fatalf("expected a cache miss after catalog change (misses %d -> %d)", misses, misses2)
+	hits2, misses2 := s.PlanCacheStats()
+	if misses2 != misses {
+		t.Fatalf("unrelated DDL purged the plan (misses %d -> %d)", misses, misses2)
+	}
+	if hits2 <= hits {
+		t.Fatalf("expected a cache hit after unrelated DDL (hits %d -> %d)", hits, hits2)
+	}
+	// DDL on the referenced table purges just its plans.
+	s.DropTable("other") // unrelated drop: still warm
+	if _, err := s.Prepare("SELECT id FROM users WHERE id = ?"); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := s.PlanCacheStats(); m != misses {
+		t.Fatalf("dropping an unrelated table purged the plan (misses %d -> %d)", misses, m)
+	}
+	s.DropTable("users")
+	if _, err := s.CreateIndexedTable("users", NewSchema(
+		Field{Name: "id", Type: Int64},
+		Field{Name: "city", Type: String},
+		Field{Name: "age", Type: Int64},
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prepare("SELECT id FROM users WHERE id = ?"); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := s.PlanCacheStats(); m <= misses {
+		t.Fatalf("expected a cache miss after DDL on the referenced table (misses %d -> %d)", misses, m)
 	}
 }
 

@@ -36,6 +36,13 @@ type Rows struct {
 	row    sqltypes.Row
 	err    error
 	closed bool
+
+	// remaining is the LIMIT-aware row budget (-1 = unlimited). When the
+	// plan root is a LIMIT n, the cursor runs the local-limit stage only
+	// and truncates here: delivering the n-th row tears the stream down,
+	// stopping the partition tasks a gather-based global limit would have
+	// launched anyway.
+	remaining int64
 }
 
 // Schema returns the result schema.
@@ -48,6 +55,10 @@ func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
 	}
+	if r.remaining == 0 {
+		r.shutdown() // LIMIT satisfied: stop the remaining partition tasks
+		return false
+	}
 	row, err := r.stream.Next()
 	if err != nil {
 		r.err = err
@@ -57,6 +68,9 @@ func (r *Rows) Next() bool {
 	if row == nil {
 		r.shutdown() // exhausted: release tasks and shuffle outputs eagerly
 		return false
+	}
+	if r.remaining > 0 {
+		r.remaining--
 	}
 	r.row = row
 	return true
@@ -220,14 +234,27 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 		}
 	}
 	ec := physical.NewExecContextCtx(ctx, s.ctx)
-	r, err := exec.Execute(ec)
+	var (
+		r     rdd.RDD
+		err   error
+		limit int64 = -1
+	)
+	if lim, ok := exec.(*physical.LimitExec); ok {
+		// A root LIMIT streams its local-limit stage and truncates at the
+		// cursor, early-terminating the remaining partition tasks once n
+		// rows are delivered instead of gathering every partition first.
+		limit = lim.N
+		r, err = lim.ExecuteStreaming(ec)
+	} else {
+		r, err = exec.Execute(ec)
+	}
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
 		return nil, err
 	}
-	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel}, nil
+	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel, remaining: limit}, nil
 }
 
 // queryNode compiles a logical plan and starts it as a cursor.

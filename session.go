@@ -173,8 +173,9 @@ func (s *Session) Table(name string) (*DataFrame, error) {
 // DropTable removes a table from the catalog. Dropping a base table also
 // drops every materialized view defined over it (their change capture is
 // turned off and retained logs discarded); dropping a view by name behaves
-// like DropMaterializedView. Compiled plans referencing the old catalog
-// entries are purged from the plan cache.
+// like DropMaterializedView. Compiled plans referencing the dropped
+// entries are purged from the plan cache; plans over other tables stay
+// warm.
 func (s *Session) DropTable(name string) {
 	s.ddl.Lock()
 	defer s.ddl.Unlock()
@@ -182,7 +183,8 @@ func (s *Session) DropTable(name string) {
 	t := s.tables[name]
 	delete(s.tables, name)
 	s.mu.Unlock()
-	s.plans.purge()
+	dropped := []string{name}
+	defer func() { s.plans.purgeTables(dropped...) }()
 	// The name may itself be a materialized view.
 	if v, ok := s.views.Get(name); ok {
 		s.views.Drop(name)
@@ -205,6 +207,7 @@ func (s *Session) DropTable(name string) {
 	for _, v := range views {
 		s.views.Drop(v.Name())
 		delete(s.tables, v.Name())
+		dropped = append(dropped, v.Name())
 	}
 	s.mu.Unlock()
 	it.Core().DisableChangeCapture()
@@ -236,8 +239,9 @@ func (s *Session) register(name string, t catalog.Table) error {
 		return fmt.Errorf("indexeddf: table %q already exists", name)
 	}
 	s.tables[name] = t
-	// A new catalog entry may shadow what a cached plan resolved against.
-	s.plans.purge()
+	// A new catalog entry may shadow what a cached plan resolved against;
+	// plans over other tables stay warm.
+	s.plans.purgeTables(name)
 	return nil
 }
 

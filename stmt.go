@@ -68,7 +68,8 @@ func (s *Session) prepareEntry(key string) (*planEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	ent = &planEntry{exec: exec, schema: exec.Schema(), numParams: stmt.NumParams}
+	ent = &planEntry{exec: exec, schema: exec.Schema(), numParams: stmt.NumParams,
+		tables: physical.ReferencedTables(exec)}
 	s.plans.putAt(key, ent, gen)
 	return ent, nil
 }
@@ -184,12 +185,18 @@ type planEntry struct {
 	exec      physical.Exec
 	schema    *sqltypes.Schema
 	numParams int
+	// tables are the catalog names the compiled plan reads (base tables,
+	// indexed tables and materialized views) — the invalidation key.
+	tables []string
 }
 
 // planCache is a bounded LRU of compiled statements keyed on normalized
-// SQL. Catalog changes (CREATE/DROP of tables and views) purge it, since
-// compiled plans bake in catalog handles; the generation counter lets an
-// in-flight compile detect that a purge overtook it and skip caching.
+// SQL. Compiled plans bake in catalog handles, so catalog DDL must purge
+// them — but only the plans that reference the changed tables: entries
+// carry their referenced-table set and DDL on one table leaves unrelated
+// prepared plans warm. The generation counter lets an in-flight compile
+// detect that any purge overtook it and skip caching the (possibly stale)
+// plan.
 type planCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -248,13 +255,34 @@ func (c *planCache) putAt(key string, ent *planEntry, gen int64) {
 	}
 }
 
-// purge drops every cached plan (catalog changed under them).
-func (c *planCache) purge() {
+// purgeTables drops the cached plans referencing any of the named tables
+// or views, leaving unrelated plans warm. The generation still bumps so an
+// in-flight compile of any statement cannot cache a plan built against the
+// pre-DDL catalog (it cannot know whether it references the changed name
+// until compiled, so the guard stays conservative).
+func (c *planCache) purgeTables(names ...string) {
+	if len(names) == 0 {
+		return
+	}
+	hit := make(map[string]bool, len(names))
+	for _, n := range names {
+		hit[n] = true
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	c.order.Init()
-	c.entries = make(map[string]*list.Element)
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		item := el.Value.(*planCacheItem)
+		for _, t := range item.ent.tables {
+			if hit[t] {
+				c.order.Remove(el)
+				delete(c.entries, item.key)
+				break
+			}
+		}
+	}
 }
 
 func (c *planCache) stats() (hits, misses int64) {

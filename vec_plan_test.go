@@ -34,14 +34,18 @@ func TestVectorizedPlanShapes(t *testing.T) {
 		return df.Filter(indexeddf.Gt(indexeddf.Col("val"), indexeddf.Lit(float64(0)))).
 			GroupBy("grp").Count(), nil
 	}
+	// A shuffle GROUP BY must be columnar end to end: partial aggregate,
+	// exchange and final merge all vectorized — no row fallback at the
+	// stage boundary.
 	plan := explain(sess, filterAgg)
-	for _, want := range []string{"VecFilter", "VecHashAggregate(partial)", "VecColumnarScan"} {
+	for _, want := range []string{"VecFilter", "VecHashAggregate(partial)", "VecColumnarScan",
+		"VecExchange", "VecHashAggregate(final)"} {
 		if !strings.Contains(plan, want) {
 			t.Errorf("vanilla filter+agg plan missing %s:\n%s", want, plan)
 		}
 	}
-	if !strings.Contains(plan, "HashAggregate(final)") {
-		t.Errorf("final aggregate phase should stay row-based:\n%s", plan)
+	if strings.Contains(plan, "\nExchange") || strings.Contains(plan, " Exchange") {
+		t.Errorf("aggregate exchange fell back to the row exchange:\n%s", plan)
 	}
 
 	plan = explain(ixSess, filterAgg)

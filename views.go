@@ -63,6 +63,10 @@ func (s *Session) createMaterializedView(name, selectSQL string, node plan.Node)
 		s.views.Drop(name)
 		return nil, err
 	}
+	// Cached plans over the base table may now be answerable from the new
+	// view — recompile them on next use (plans over other tables stay
+	// warm; register already purged plans shadowed by the view's name).
+	s.plans.purgeTables(v.BaseName())
 	return v, nil
 }
 
@@ -80,7 +84,9 @@ func (s *Session) DropMaterializedView(name string) error {
 	s.mu.Lock()
 	delete(s.tables, name)
 	s.mu.Unlock()
-	s.plans.purge()
+	// Plans answered from this view (or scanning it by name) reference it
+	// and purge; plans over the base table that never used it stay warm.
+	s.plans.purgeTables(name)
 	if len(s.views.ForBase(v.Base())) == 0 {
 		v.Base().DisableChangeCapture()
 	}
