@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// thresholds are the gate's tolerances.
+type thresholds struct {
+	wall      float64 // tolerated fractional wall-clock growth
+	alloc     float64 // tolerated fractional alloc-bytes growth
+	minWallNs float64 // wall metrics under this baseline are noise, skip
+}
+
+// metricKind classifies a discovered metric.
+type metricKind int
+
+const (
+	wallMetric metricKind = iota
+	allocMetric
+)
+
+// metrics maps "path.to.metric" -> value for one BENCH_*.json file.
+type metrics map[string]float64
+
+// extract walks a decoded JSON document collecting wall ("*_ns") and
+// alloc ("*alloc_bytes*") numeric fields. Array elements are keyed by
+// their "name" field when they have one, by index otherwise, so reordered
+// result lists still line up.
+func extract(doc any) (wall, alloc metrics) {
+	wall, alloc = metrics{}, metrics{}
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch t := v.(type) {
+		case map[string]any:
+			for k, c := range t {
+				key := k
+				if prefix != "" {
+					key = prefix + "." + k
+				}
+				if f, ok := c.(float64); ok {
+					switch {
+					case strings.Contains(k, "alloc_bytes"):
+						alloc[key] = f
+					case strings.HasSuffix(k, "_ns"):
+						wall[key] = f
+					}
+					continue
+				}
+				walk(key, c)
+			}
+		case []any:
+			for i, c := range t {
+				seg := fmt.Sprint(i)
+				if m, ok := c.(map[string]any); ok {
+					if name, ok := m["name"].(string); ok {
+						seg = name
+					}
+				}
+				if prefix != "" {
+					seg = prefix + "." + seg
+				}
+				walk(seg, c)
+			}
+		}
+	}
+	walk("", doc)
+	return wall, alloc
+}
+
+// loadMetrics parses one BENCH_*.json file.
+func loadMetrics(path string) (wall, alloc metrics, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	wall, alloc = extract(doc)
+	return wall, alloc, nil
+}
+
+// baselineFiles lists the BENCH_*.json names in dir.
+func baselineFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		names[i] = filepath.Base(p)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// check compares every baseline file against its fresh counterpart and
+// renders a report, returning failed=true when any metric regresses past
+// its threshold.
+func check(baselineDir, freshDir string, th thresholds) (report string, failed bool, err error) {
+	names, err := baselineFiles(baselineDir)
+	if err != nil {
+		return "", false, err
+	}
+	if len(names) == 0 {
+		return "", false, fmt.Errorf("no BENCH_*.json baselines in %s", baselineDir)
+	}
+	var sb strings.Builder
+	for _, name := range names {
+		baseWall, baseAlloc, err := loadMetrics(filepath.Join(baselineDir, name))
+		if err != nil {
+			return "", false, err
+		}
+		freshWall, freshAlloc, err := loadMetrics(filepath.Join(freshDir, name))
+		if err != nil {
+			return "", false, fmt.Errorf("fresh results for %s: %w", name, err)
+		}
+		fmt.Fprintf(&sb, "%s:\n", name)
+		f1 := compareKind(&sb, name, wallMetric, baseWall, freshWall, th)
+		f2 := compareKind(&sb, name, allocMetric, baseAlloc, freshAlloc, th)
+		failed = failed || f1 || f2
+	}
+	return sb.String(), failed, nil
+}
+
+// compareKind diffs one metric family of one file.
+func compareKind(sb *strings.Builder, file string, kind metricKind, base, fresh metrics, th thresholds) (failed bool) {
+	limit, label := th.wall, "wall"
+	if kind == allocMetric {
+		limit, label = th.alloc, "alloc"
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		f, ok := fresh[k]
+		if !ok {
+			// A metric that existed in the baseline must not silently
+			// disappear (a renamed figure needs a deliberate -update).
+			fmt.Fprintf(sb, "  FAIL %-5s %s: missing from fresh results\n", label, k)
+			failed = true
+			continue
+		}
+		if b <= 0 {
+			continue
+		}
+		if kind == wallMetric && b < th.minWallNs {
+			continue // sub-noise-floor timing; report nothing
+		}
+		ratio := f/b - 1
+		switch {
+		case ratio > limit:
+			fmt.Fprintf(sb, "  FAIL %-5s %s: %s -> %s (+%.1f%%, limit +%.0f%%)\n",
+				label, k, fmtMetric(kind, b), fmtMetric(kind, f), ratio*100, limit*100)
+			failed = true
+		case ratio < -0.10:
+			fmt.Fprintf(sb, "  ok   %-5s %s: %s -> %s (%.1f%%, improved)\n",
+				label, k, fmtMetric(kind, b), fmtMetric(kind, f), ratio*100)
+		default:
+			fmt.Fprintf(sb, "  ok   %-5s %s: %s -> %s (%+.1f%%)\n",
+				label, k, fmtMetric(kind, b), fmtMetric(kind, f), ratio*100)
+		}
+	}
+	return failed
+}
+
+func fmtMetric(kind metricKind, v float64) string {
+	if kind == wallMetric {
+		return fmt.Sprintf("%.2fms", v/1e6)
+	}
+	return fmt.Sprintf("%.1fMB", v/(1<<20))
+}
+
+// updateBaselines copies every fresh BENCH_*.json over its baseline (and
+// adopts new files), the deliberate refresh path.
+func updateBaselines(baselineDir, freshDir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("no BENCH_*.json files in %s", freshDir)
+	}
+	if err := os.MkdirAll(baselineDir, 0o755); err != nil {
+		return 0, err
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(filepath.Join(baselineDir, filepath.Base(p)), raw, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(paths), nil
+}

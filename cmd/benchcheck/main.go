@@ -1,0 +1,56 @@
+// Command benchcheck is the CI bench-regression gate: it diffs freshly
+// produced BENCH_*.json files against the committed baselines under
+// bench/baselines/ and fails (exit 1) when any wall-clock metric regresses
+// by more than -wall (default 25%) or any allocated-bytes metric by more
+// than -alloc (default 30%). Improvements and small metrics (under
+// -min-wall-ms, where scheduler noise dominates) are reported but never
+// fail the gate.
+//
+//	benchcheck                          # compare ./BENCH_*.json to bench/baselines/
+//	benchcheck -update                  # refresh the baselines deliberately
+//	benchcheck -wall 0.10 -alloc 0.15   # tighter thresholds
+//
+// Metrics are discovered structurally, so new figures need no changes
+// here: every numeric JSON field whose name ends in "_ns" is a wall-clock
+// metric and every field containing "alloc_bytes" is an allocation
+// metric; array elements are keyed by their "name" field when present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baselines := flag.String("baselines", "bench/baselines", "directory holding the committed baseline BENCH_*.json files")
+	fresh := flag.String("fresh", ".", "directory holding the freshly produced BENCH_*.json files")
+	wall := flag.Float64("wall", 0.25, "maximum tolerated wall-clock regression (fraction)")
+	alloc := flag.Float64("alloc", 0.30, "maximum tolerated alloc-bytes regression (fraction)")
+	minWallMs := flag.Float64("min-wall-ms", 1.0, "ignore wall metrics whose baseline is under this many milliseconds (noise floor)")
+	update := flag.Bool("update", false, "copy the fresh files over the baselines instead of comparing")
+	flag.Parse()
+
+	if *update {
+		n, err := updateBaselines(*baselines, *fresh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: refreshed %d baseline file(s) in %s\n", n, *baselines)
+		return
+	}
+	report, failed, err := check(*baselines, *fresh, thresholds{
+		wall: *wall, alloc: *alloc, minWallNs: *minWallMs * 1e6,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: bench regression gate FAILED (rerun with -update after an intentional change)")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: bench regression gate passed")
+}

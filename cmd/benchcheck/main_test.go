@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes one BENCH-style file with the shapes benchrunner
+// produces (nested report objects and named result lists).
+func writeBench(t *testing.T, dir, name string, doc any) {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortDoc(batchNs, rowNs, batchAlloc float64) map[string]any {
+	return map[string]any{
+		"figure": "sort",
+		"sort": map[string]any{
+			"sort_batch_ns":          batchNs,
+			"sort_row_ns":            rowNs,
+			"sort_batch_alloc_bytes": batchAlloc,
+		},
+	}
+}
+
+func resultsDoc(opNs float64) map[string]any {
+	return map[string]any{
+		"figure": "2",
+		"results": []any{
+			map[string]any{"name": "filter", "indexed_ns": opNs, "vanilla_ns": 2 * opNs},
+		},
+	}
+}
+
+func th() thresholds { return thresholds{wall: 0.25, alloc: 0.30, minWallNs: 1e6} }
+
+// TestGatePassesAtParity: identical numbers pass.
+func TestGatePassesAtParity(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_sort.json", sortDoc(100e6, 200e6, 50<<20))
+	writeBench(t, fresh, "BENCH_sort.json", sortDoc(100e6, 200e6, 50<<20))
+	report, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("parity run failed the gate:\n%s", report)
+	}
+}
+
+// TestGateFailsOnWallRegression: a synthetic >25% wall-clock regression
+// must fail the gate — the property the CI dry-run step demonstrates.
+func TestGateFailsOnWallRegression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_sort.json", sortDoc(100e6, 200e6, 50<<20))
+	writeBench(t, fresh, "BENCH_sort.json", sortDoc(130e6, 200e6, 50<<20)) // +30% batch sort
+	report, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("+30%% wall regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL wall  sort.sort_batch_ns") {
+		t.Fatalf("report does not name the regressed metric:\n%s", report)
+	}
+	// Just inside the threshold passes.
+	writeBench(t, fresh, "BENCH_sort.json", sortDoc(124e6, 200e6, 50<<20)) // +24%
+	_, failed, err = check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("+24% wall change tripped the 25% gate")
+	}
+}
+
+// TestGateFailsOnAllocRegression: alloc-bytes have their own threshold.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_sort.json", sortDoc(100e6, 200e6, 100<<20))
+	writeBench(t, fresh, "BENCH_sort.json", sortDoc(100e6, 200e6, 140<<20)) // +40% allocs
+	report, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("+40%% alloc regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL alloc sort.sort_batch_alloc_bytes") {
+		t.Fatalf("report does not name the regressed metric:\n%s", report)
+	}
+}
+
+// TestGateNamedResultsAndNoiseFloor: result-list metrics are keyed by
+// name, and sub-floor timings never fail (micro-benchmarks jitter).
+func TestGateNamedResultsAndNoiseFloor(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_results.json", resultsDoc(10e6))
+	writeBench(t, fresh, "BENCH_results.json", resultsDoc(20e6)) // 2x, way past gate
+	report, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("named result regression passed the gate")
+	}
+	if !strings.Contains(report, "results.filter.indexed_ns") {
+		t.Fatalf("result metrics not keyed by name:\n%s", report)
+	}
+	// The same 2x on a 0.1ms metric sits under the 1ms noise floor.
+	writeBench(t, base, "BENCH_results.json", resultsDoc(0.1e6))
+	writeBench(t, fresh, "BENCH_results.json", resultsDoc(0.2e6))
+	_, failed, err = check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("sub-noise-floor metric failed the gate")
+	}
+}
+
+// TestGateFailsOnMissingMetric: a baseline metric vanishing from fresh
+// output needs a deliberate -update, not a silent pass.
+func TestGateFailsOnMissingMetric(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_sort.json", sortDoc(100e6, 200e6, 50<<20))
+	writeBench(t, fresh, "BENCH_sort.json", map[string]any{"figure": "sort"})
+	report, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("missing metrics passed the gate:\n%s", report)
+	}
+	// A missing fresh FILE is a hard error (the bench step didn't run).
+	if err := os.Remove(filepath.Join(fresh, "BENCH_sort.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check(base, fresh, th()); err == nil {
+		t.Fatal("missing fresh file did not error")
+	}
+}
+
+// TestUpdateRefreshesBaselines: -update copies fresh files over baselines
+// and adopts new figures.
+func TestUpdateRefreshesBaselines(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeBench(t, base, "BENCH_sort.json", sortDoc(100e6, 200e6, 50<<20))
+	writeBench(t, fresh, "BENCH_sort.json", sortDoc(300e6, 200e6, 50<<20))
+	writeBench(t, fresh, "BENCH_new.json", map[string]any{"new_ns": 5e6})
+	n, err := updateBaselines(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("updated %d files, want 2", n)
+	}
+	_, failed, err := check(base, fresh, th())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("gate failed immediately after -update")
+	}
+}

@@ -7,6 +7,7 @@
 //	benchrunner -fig view     materialized views — delta refresh vs recompute
 //	benchrunner -fig prepare  prepared statements — plan cache vs parse-per-call
 //	benchrunner -fig shuffle  batch (columnar) exchange vs row exchange, 1M-row GROUP BY
+//	benchrunner -fig sort     batch sort & fused top-n vs row sort, 1M-row ORDER BY
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -57,6 +58,7 @@ type report struct {
 	Results   []measurementJSON    `json:"results,omitempty"`
 	Memory    *bench.MemoryReport  `json:"memory,omitempty"`
 	Shuffle   *bench.ShuffleReport `json:"shuffle,omitempty"`
+	Sort      *bench.SortReport    `json:"sort,omitempty"`
 }
 
 type measurementJSON struct {
@@ -175,6 +177,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+	case "sort":
+		r, err := sortOrderBy(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "sort"
+			rep.Sort = &r
+			if err := writeJSON(jsonPath, rep); err != nil {
+				return err
+			}
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -223,12 +238,24 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+		so, err := sortOrderBy(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "sort"
+			rep.Sort = &so
+			if err := writeJSON(jsonName(jsonPath, "sort", true), rep); err != nil {
+				return err
+			}
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -256,6 +283,28 @@ func shuffleExchange(iters int) (bench.ShuffleReport, error) {
 	w.Flush()
 	fmt.Printf("batch exchange: %.2fx faster, %.2fx fewer allocated bytes (%d result groups)\n",
 		r.Speedup(), r.AllocRatio(), r.ResultRows)
+	fmt.Println(strings.Repeat("-", 56))
+	return r, nil
+}
+
+func sortOrderBy(iters int) (bench.SortReport, error) {
+	const rows, topN = 1_000_000, 100
+	fmt.Printf("\n== Batch sort vs row sort: 1M-row ORDER BY, and the fused top-n (LIMIT %d) ==\n", topN)
+	r, err := bench.SortOrderBy(rows, topN, iters)
+	if err != nil {
+		return bench.SortReport{}, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "workload\tbatch [ms]\trow [ms]\tspeedup\tbatch alloc [MB]\trow alloc [MB]\t")
+	fmt.Fprintf(w, "ORDER BY (full sort)\t%.2f\t%.2f\t%.2fx\t%.1f\t%.1f\t\n",
+		msf(r.BatchSort), msf(r.RowSort), r.SortSpeedup(),
+		float64(r.BatchSortAllocs)/(1<<20), float64(r.RowSortAllocs)/(1<<20))
+	fmt.Fprintf(w, "ORDER BY ... LIMIT %d (top-n)\t%.2f\t%.2f\t%.2fx\t%.1f\t%.1f\t\n",
+		topN, msf(r.BatchTopN), msf(r.RowTopN), r.TopNSpeedup(),
+		float64(r.BatchTopNAllocs)/(1<<20), float64(r.RowTopNAllocs)/(1<<20))
+	w.Flush()
+	fmt.Printf("batch sort: %.2fx faster; top-n: %.2fx faster than the row sort (%d rows)\n",
+		r.SortSpeedup(), r.TopNSpeedup(), r.Rows)
 	fmt.Println(strings.Repeat("-", 56))
 	return r, nil
 }

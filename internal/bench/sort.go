@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"indexeddf"
+)
+
+// SortReport compares the batch sort pipeline against the row SortExec on
+// one ORDER BY-heavy workload: a full sort of the table and the top-n
+// flavor (ORDER BY ... LIMIT n, which the vectorized planner fuses into
+// bounded per-partition heaps). Same query, same data; the only
+// difference is Config.DisableVectorized. Alloc columns are per-query
+// heap deltas — the row sort's boxed key rows and drained []Row are the
+// bytes the batch path never allocates.
+type SortReport struct {
+	Rows      int           `json:"rows"`
+	TopN      int           `json:"top_n"`
+	BatchSort time.Duration `json:"sort_batch_ns"`
+	RowSort   time.Duration `json:"sort_row_ns"`
+	BatchTopN time.Duration `json:"topn_batch_ns"`
+	RowTopN   time.Duration `json:"topn_row_ns"`
+
+	BatchSortAllocs int64 `json:"sort_batch_alloc_bytes"`
+	RowSortAllocs   int64 `json:"sort_row_alloc_bytes"`
+	BatchTopNAllocs int64 `json:"topn_batch_alloc_bytes"`
+	RowTopNAllocs   int64 `json:"topn_row_alloc_bytes"`
+}
+
+// SortSpeedup returns row/batch wall time for the full sort.
+func (r SortReport) SortSpeedup() float64 {
+	if r.BatchSort <= 0 {
+		return 0
+	}
+	return float64(r.RowSort) / float64(r.BatchSort)
+}
+
+// TopNSpeedup returns row/batch wall time for ORDER BY ... LIMIT n.
+func (r SortReport) TopNSpeedup() float64 {
+	if r.BatchTopN <= 0 {
+		return 0
+	}
+	return float64(r.RowTopN) / float64(r.BatchTopN)
+}
+
+// SortOrderBy measures `SELECT k, v FROM t ORDER BY v, k` (full sort,
+// drained) and `... LIMIT topN` over rows rows through both engines,
+// returning median wall times and per-query alloc bytes. Results are
+// cross-checked between the engines before timing.
+func SortOrderBy(rows, topN, iters int) (SortReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	mk := func(rowEngine bool) (*indexeddf.Session, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{DisableVectorized: rowEngine})
+		schema := indexeddf.NewSchema(
+			indexeddf.Field{Name: "k", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "v", Type: indexeddf.Int64},
+		)
+		data := make([]indexeddf.Row, rows)
+		for i := range data {
+			// A pseudo-random permutation with heavy ties on v.
+			data[i] = indexeddf.R(int64((i*2654435761)%rows), int64(i%65536))
+		}
+		df, err := sess.CreateTable("t", schema, data)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+	sortQ := "SELECT k, v FROM t ORDER BY v, k"
+	topNQ := fmt.Sprintf("%s LIMIT %d", sortQ, topN)
+	run := func(sess *indexeddf.Session, q string) ([]indexeddf.Row, error) {
+		df, err := sess.SQL(q)
+		if err != nil {
+			return nil, err
+		}
+		return df.Collect()
+	}
+	measure := func(sess *indexeddf.Session, q string) (time.Duration, int64, error) {
+		if _, err := run(sess, q); err != nil { // warm (cache build, kernels)
+			return 0, 0, err
+		}
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := run(sess, q); err != nil {
+				return 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		allocs := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		return median(times), allocs, nil
+	}
+
+	batchSess, err := mk(false)
+	if err != nil {
+		return SortReport{}, err
+	}
+	rowSess, err := mk(true)
+	if err != nil {
+		return SortReport{}, err
+	}
+	// Sanity: both engines agree — exact order, both flavors — before
+	// anything is timed.
+	for _, q := range []string{topNQ, sortQ} {
+		br, err := run(batchSess, q)
+		if err != nil {
+			return SortReport{}, err
+		}
+		rr, err := run(rowSess, q)
+		if err != nil {
+			return SortReport{}, err
+		}
+		if len(br) != len(rr) {
+			return SortReport{}, fmt.Errorf("bench: engines disagree on %q (%d vs %d rows)", q, len(br), len(rr))
+		}
+		step := 1
+		if len(br) > 10_000 {
+			step = len(br) / 10_000
+		}
+		for i := 0; i < len(br); i += step {
+			if br[i].String() != rr[i].String() {
+				return SortReport{}, fmt.Errorf("bench: engines disagree on %q at row %d (%s vs %s)",
+					q, i, br[i], rr[i])
+			}
+		}
+	}
+	r := SortReport{Rows: rows, TopN: topN}
+	if r.BatchSort, r.BatchSortAllocs, err = measure(batchSess, sortQ); err != nil {
+		return SortReport{}, err
+	}
+	if r.RowSort, r.RowSortAllocs, err = measure(rowSess, sortQ); err != nil {
+		return SortReport{}, err
+	}
+	if r.BatchTopN, r.BatchTopNAllocs, err = measure(batchSess, topNQ); err != nil {
+		return SortReport{}, err
+	}
+	if r.RowTopN, r.RowTopNAllocs, err = measure(rowSess, topNQ); err != nil {
+		return SortReport{}, err
+	}
+	return r, nil
+}

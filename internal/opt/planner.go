@@ -87,11 +87,16 @@ func (pl *Planner) plan(n plan.Node) (physical.Exec, error) {
 		if err != nil {
 			return nil, err
 		}
-		orders := make([]physical.SortOrder, len(t.Orders))
-		for i, o := range t.Orders {
-			orders[i] = physical.SortOrder{Expr: o.Expr, Desc: o.Desc}
+		return physical.NewSort(child, physOrders(t.Orders)), nil
+	case *plan.TopN:
+		// Lower to the row pattern (global sort + limit); the vectorize
+		// pass fuses it into VecTopN when the keys compile to kernels, and
+		// the row engine executes it as written.
+		child, err := pl.plan(t.Child)
+		if err != nil {
+			return nil, err
 		}
-		return physical.NewSort(child, orders), nil
+		return physical.NewLimit(physical.NewSort(child, physOrders(t.Orders)), t.N), nil
 	case *plan.Limit:
 		child, err := pl.plan(t.Child)
 		if err != nil {
@@ -111,6 +116,15 @@ func (pl *Planner) plan(n plan.Node) (physical.Exec, error) {
 	default:
 		return nil, fmt.Errorf("opt: no physical strategy for %T", n)
 	}
+}
+
+// physOrders converts logical sort orders to physical ones.
+func physOrders(orders []plan.SortOrder) []physical.SortOrder {
+	out := make([]physical.SortOrder, len(orders))
+	for i, o := range orders {
+		out[i] = physical.SortOrder{Expr: o.Expr, Desc: o.Desc}
+	}
+	return out
 }
 
 // planScan lowers a relation, optionally with a pushed-down projection.

@@ -22,6 +22,7 @@ func DefaultRules() []Rule {
 		{Name: "PushFilterIntoJoin", Apply: pushFilterIntoJoin},
 		{Name: "SimplifyFilters", Apply: simplifyFilters},
 		{Name: "CombineLimits", Apply: combineLimits},
+		{Name: "FuseTopN", Apply: fuseTopN},
 	}
 }
 
@@ -252,5 +253,29 @@ func combineLimits(n plan.Node) (plan.Node, error) {
 			min = inner.N
 		}
 		return plan.NewLimit(min, inner.Child), nil
+	})
+}
+
+// fuseTopN recognizes ORDER BY ... LIMIT n — a Limit directly over a Sort
+// — as a TopN node, the shape the physical layer can execute with bounded
+// per-partition heaps instead of a full global sort. A Limit over an
+// already-fused TopN tightens its bound (CombineLimits for the fused form).
+func fuseTopN(n plan.Node) (plan.Node, error) {
+	return plan.Transform(n, func(node plan.Node) (plan.Node, error) {
+		l, ok := node.(*plan.Limit)
+		if !ok {
+			return node, nil
+		}
+		switch c := l.Child.(type) {
+		case *plan.Sort:
+			return plan.NewTopN(c.Orders, l.N, c.Child), nil
+		case *plan.TopN:
+			min := l.N
+			if c.N < min {
+				min = c.N
+			}
+			return plan.NewTopN(c.Orders, min, c.Child), nil
+		}
+		return node, nil
 	})
 }

@@ -106,8 +106,24 @@ func vectorize(e physical.Exec, batchSink bool) physical.Exec {
 	case *physical.NestedLoopJoinExec:
 		return physical.NewNestedLoopJoin(vectorize(t.Left, false), vectorize(t.Right, false), t.Type, t.Cond)
 	case *physical.SortExec:
+		// The batch sort ingests batches (typed-lane key extraction, index
+		// sort, gather into sorted runs, k-way merge), so its child sees a
+		// batch sink — the gather exchange under the old row sort is gone.
+		if ordersVectorizable(t.Orders) {
+			return physical.NewVecSort(vectorize(t.Child, true), t.Orders)
+		}
 		return physical.NewSort(vectorize(t.Child, false), t.Orders)
 	case *physical.LimitExec:
+		// LIMIT n directly over a sort is a top-n: bounded per-partition
+		// heaps and an n-row merge replace the full global sort, as long as
+		// n keeps the heaps small (past the threshold the batch sort's
+		// run-merge with a limit is the better plan).
+		if s, ok := t.Child.(*physical.SortExec); ok && ordersVectorizable(s.Orders) {
+			if t.N >= 0 && t.N <= maxVecTopN {
+				return physical.NewVecTopN(vectorize(s.Child, true), s.Orders, t.N)
+			}
+			return physical.NewLimit(physical.NewVecSort(vectorize(s.Child, true), s.Orders), t.N)
+		}
 		return physical.NewLimit(vectorize(t.Child, false), t.N)
 	case *physical.ExchangeExec:
 		if batchSink {
@@ -148,6 +164,19 @@ func rowBound(e physical.Exec) bool {
 	}
 	for _, c := range children {
 		if !rowBound(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxVecTopN bounds the per-partition heap size of the fused top-n; a
+// LIMIT beyond it sorts with VecSort and truncates instead.
+const maxVecTopN = 1 << 16
+
+func ordersVectorizable(orders []physical.SortOrder) bool {
+	for _, o := range orders {
+		if !expr.CanVectorize(o.Expr) {
 			return false
 		}
 	}

@@ -154,22 +154,40 @@ func RewriteExprs(e Exec, fn func(expr.Expr) (expr.Expr, error)) (Exec, error) {
 		if err != nil {
 			return nil, err
 		}
-		oc := false
-		orders := make([]SortOrder, len(t.Orders))
-		for i, o := range t.Orders {
-			no, err := rw(o.Expr)
-			if err != nil {
-				return nil, err
-			}
-			orders[i] = SortOrder{Expr: no, Desc: o.Desc}
-			if no != o.Expr {
-				oc = true
-			}
+		orders, oc, err := rewriteOrders(t.Orders, rw)
+		if err != nil {
+			return nil, err
 		}
 		if !cc && !oc {
 			return t, nil
 		}
 		return NewSort(child, orders), nil
+	case *VecSortExec:
+		child, cc, err := rewriteChild(t.Child, fn)
+		if err != nil {
+			return nil, err
+		}
+		orders, oc, err := rewriteOrders(t.Orders, rw)
+		if err != nil {
+			return nil, err
+		}
+		if !cc && !oc {
+			return t, nil
+		}
+		return NewVecSort(child, orders), nil
+	case *VecTopNExec:
+		child, cc, err := rewriteChild(t.Child, fn)
+		if err != nil {
+			return nil, err
+		}
+		orders, oc, err := rewriteOrders(t.Orders, rw)
+		if err != nil {
+			return nil, err
+		}
+		if !cc && !oc {
+			return t, nil
+		}
+		return NewVecTopN(child, orders, t.N), nil
 	case *LimitExec:
 		child, cc, err := rewriteChild(t.Child, fn)
 		if err != nil {
@@ -188,6 +206,15 @@ func RewriteExprs(e Exec, fn func(expr.Expr) (expr.Expr, error)) (Exec, error) {
 			return t, nil
 		}
 		return NewExchange(child, t.Keys, t.NumPartitions), nil
+	case *VecExchangeExec:
+		child, cc, err := rewriteChild(t.Child, fn)
+		if err != nil {
+			return nil, err
+		}
+		if !cc {
+			return t, nil
+		}
+		return NewVecExchange(child, t.Keys, t.NumPartitions), nil
 	case *UnionExec:
 		changed := false
 		ins := make([]Exec, len(t.Inputs))
@@ -331,6 +358,27 @@ func RewriteExprs(e Exec, fn func(expr.Expr) (expr.Expr, error)) (Exec, error) {
 		// Expression-free leaves: scans, values, view scans.
 		return e, nil
 	}
+}
+
+// rewriteOrders applies rw to every sort-order expression, reporting
+// whether any changed.
+func rewriteOrders(orders []SortOrder, rw func(expr.Expr) (expr.Expr, error)) ([]SortOrder, bool, error) {
+	changed := false
+	out := make([]SortOrder, len(orders))
+	for i, o := range orders {
+		no, err := rw(o.Expr)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = SortOrder{Expr: no, Desc: o.Desc}
+		if no != o.Expr {
+			changed = true
+		}
+	}
+	if !changed {
+		return orders, false, nil
+	}
+	return out, true, nil
 }
 
 // rewriteChild recurses and reports whether the subtree changed.

@@ -1,0 +1,272 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/expr"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// ---------------------------------------------------------------------------
+// VecSort
+
+// VecSortExec is the vectorized SortExec: each partition extracts its sort
+// keys column-wise into typed lanes, sorts an index permutation without
+// boxing a value, and gathers a sorted run; the runs then cross the
+// columnar exchange and a k-way galloping merge streams the globally
+// sorted result. Where SortExec drains every partition into one []Row and
+// sorts row-at-a-time, this path keeps the data columnar end to end and
+// its merge produces the first sorted row without materializing the rest.
+// Ordering (NULL first ascending, ties in partition-then-arrival order)
+// matches SortExec exactly.
+type VecSortExec struct {
+	Child  Exec
+	Orders []SortOrder
+}
+
+// NewVecSort builds a vectorized global sort. Every order expression must
+// be vectorizable (the planner checks expr.CanVectorize).
+func NewVecSort(child Exec, orders []SortOrder) *VecSortExec {
+	return &VecSortExec{Child: child, Orders: orders}
+}
+
+// Schema implements Exec.
+func (s *VecSortExec) Schema() *sqltypes.Schema { return s.Child.Schema() }
+
+// Children implements Exec.
+func (s *VecSortExec) Children() []Exec { return []Exec{s.Child} }
+
+func (s *VecSortExec) String() string {
+	return "VecSort [" + orderStrings(s.Orders) + "]"
+}
+
+func orderStrings(orders []SortOrder) string {
+	parts := make([]string, len(orders))
+	for i, o := range orders {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		parts[i] = o.Expr.String() + " " + dir
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Execute implements Exec.
+func (s *VecSortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := s.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	schema := s.Child.Schema()
+	orders := s.Orders
+	runs := ec.RDD.NewBatchIterRDD(child, 0, schema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+		return sortPartition(tc, in, schema, orders)
+	})
+	if child.NumPartitions() <= 1 {
+		return runs, nil
+	}
+	return ec.RDD.NewBatchMergeRDD(runs, schema, func(_ *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
+		return newRunMerge(schema, orders, ins, -1)
+	}), nil
+}
+
+// sortKeys compiles the order expressions to kernels and splits out the
+// key types and directions. Compiled kernels own scratch state: callers
+// compile one set per partition task or per merge run.
+func sortKeys(orders []SortOrder) (exprs []*expr.VecExpr, types []sqltypes.Type, desc []bool, err error) {
+	exprs = make([]*expr.VecExpr, len(orders))
+	types = make([]sqltypes.Type, len(orders))
+	desc = make([]bool, len(orders))
+	for i, o := range orders {
+		ve, ok := expr.CompileVec(o.Expr)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("physical: sort key %s is not vectorizable", o.Expr)
+		}
+		exprs[i] = ve
+		types[i] = ve.Type()
+		desc[i] = o.Desc
+	}
+	return exprs, types, desc, nil
+}
+
+// evalKeys evaluates every compiled key over b.
+func evalKeys(exprs []*expr.VecExpr, b *vector.Batch) ([]*columnar.Vector, error) {
+	out := make([]*columnar.Vector, len(exprs))
+	for i, ve := range exprs {
+		v, err := ve.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// sortPartition buffers one partition's batches (the producer reuses
+// them), extracting sort keys into typed lanes as they stream past, then
+// sorts the index permutation and serves the run as lazily gathered
+// output batches.
+func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Schema,
+	orders []SortOrder) (vector.BatchIter, error) {
+	keyExprs, keyTypes, desc, err := sortKeys(orders)
+	if err != nil {
+		return nil, err
+	}
+	lanes := vector.NewKeyLanes(keyTypes)
+	buf := vector.NewBatchBuilder(schema, vector.DefaultBatchSize)
+	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		keys, err := evalKeys(keyExprs, b)
+		if err != nil {
+			return nil, err
+		}
+		lanes.AppendCols(keys)
+		buf.Append(b)
+	}
+	sealed := buf.Seal()
+	idx := vector.SortIndices(lanes, desc)
+	return &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)}, nil
+}
+
+// sortedRunIter gathers the sorted permutation one output batch at a time
+// (reusing the output batch), so a consumer that stops early — a top-n
+// merge, a cancelled cursor — never pays for gathering the tail.
+type sortedRunIter struct {
+	tc  *rdd.TaskContext
+	src []*vector.Batch
+	idx []int
+	pos int
+	out *vector.Batch
+}
+
+// Next implements vector.BatchIter.
+func (it *sortedRunIter) Next() (*vector.Batch, error) {
+	if it.pos >= len(it.idx) {
+		return nil, nil
+	}
+	if err := it.tc.Err(); err != nil {
+		return nil, err
+	}
+	n := vector.DefaultBatchSize
+	if n > len(it.idx)-it.pos {
+		n = len(it.idx) - it.pos
+	}
+	vector.GatherInto(it.out, it.src, vector.DefaultBatchSize, it.idx[it.pos:it.pos+n])
+	it.pos += n
+	return it.out, nil
+}
+
+// newRunMerge builds the k-way merge of sorted runs, compiling a fresh
+// key-extraction kernel per run (kernels own scratch vectors; one per run
+// keeps each run's current keys stable while others advance).
+func newRunMerge(schema *sqltypes.Schema, orders []SortOrder, ins []vector.BatchIter,
+	limit int64) (vector.BatchIter, error) {
+	_, _, desc, err := sortKeys(orders)
+	if err != nil {
+		return nil, err
+	}
+	extracts := make([]vector.KeyExtract, len(ins))
+	for i := range ins {
+		keyExprs, _, _, err := sortKeys(orders)
+		if err != nil {
+			return nil, err
+		}
+		extracts[i] = func(b *vector.Batch) ([]*columnar.Vector, error) {
+			return evalKeys(keyExprs, b)
+		}
+	}
+	return vector.NewMergeSorted(schema, ins, extracts, desc, limit), nil
+}
+
+// ---------------------------------------------------------------------------
+// VecTopN
+
+// VecTopNExec fuses Limit n over Sort into a bounded top-n: each
+// partition keeps only its n best rows in a heap over a compacting
+// columnar store (a 1M-row partition under ORDER BY ... LIMIT 100 holds
+// ~100 candidate rows, never the input), emits them as a sorted run, and
+// the final merge reads at most n·partitions rows before truncating at n.
+// The full global sort the row engine would run never happens.
+type VecTopNExec struct {
+	Child  Exec
+	Orders []SortOrder
+	N      int64
+}
+
+// NewVecTopN builds a vectorized top-n.
+func NewVecTopN(child Exec, orders []SortOrder, n int64) *VecTopNExec {
+	return &VecTopNExec{Child: child, Orders: orders, N: n}
+}
+
+// Schema implements Exec.
+func (t *VecTopNExec) Schema() *sqltypes.Schema { return t.Child.Schema() }
+
+// Children implements Exec.
+func (t *VecTopNExec) Children() []Exec { return []Exec{t.Child} }
+
+func (t *VecTopNExec) String() string {
+	return fmt.Sprintf("VecTopN %d [%s]", t.N, orderStrings(t.Orders))
+}
+
+// Execute implements Exec.
+func (t *VecTopNExec) Execute(ec *ExecContext) (rdd.RDD, error) {
+	child, err := t.Child.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Child.Schema()
+	orders := t.Orders
+	n := t.N
+	runs := ec.RDD.NewBatchIterRDD(child, 0, schema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+		return topNPartition(tc, in, schema, orders, n)
+	})
+	if child.NumPartitions() <= 1 {
+		return runs, nil // the collector already emits at most n sorted rows
+	}
+	return ec.RDD.NewBatchMergeRDD(runs, schema, func(_ *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
+		return newRunMerge(schema, orders, ins, n)
+	}), nil
+}
+
+// topNPartition scans one partition through the bounded collector and
+// emits its top n as a sorted run.
+func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Schema,
+	orders []SortOrder, n int64) (vector.BatchIter, error) {
+	keyExprs, keyTypes, desc, err := sortKeys(orders)
+	if err != nil {
+		return nil, err
+	}
+	top := vector.NewTopN(schema, keyTypes, desc, int(n))
+	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		keys, err := evalKeys(keyExprs, b)
+		if err != nil {
+			return nil, err
+		}
+		top.Push(b, keys)
+	}
+	return vector.NewSliceIter(top.Emit()), nil
+}

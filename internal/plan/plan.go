@@ -395,6 +395,56 @@ func (s *Sort) String() string {
 }
 
 // ---------------------------------------------------------------------------
+// TopN
+
+// TopN is the fused form of Limit(Sort(x)): the first N rows of the child
+// under the sort orders. The optimizer recognizes ORDER BY ... LIMIT n
+// plans and rewrites them to this node so the physical layer can run a
+// bounded top-n (per-partition heaps plus an n-row merge) instead of a
+// full global sort; the row engine lowers it back to Sort + Limit.
+type TopN struct {
+	Orders []SortOrder
+	N      int64
+	Child  Node
+}
+
+// NewTopN builds a top-n node.
+func NewTopN(orders []SortOrder, n int64, child Node) *TopN {
+	return &TopN{Orders: orders, N: n, Child: child}
+}
+
+// Schema implements Node.
+func (t *TopN) Schema() *sqltypes.Schema { return t.Child.Schema() }
+
+// Children implements Node.
+func (t *TopN) Children() []Node { return []Node{t.Child} }
+
+// WithChildren implements Node.
+func (t *TopN) WithChildren(c []Node) (Node, error) {
+	if len(c) != 1 {
+		return nil, fmt.Errorf("plan: top-n takes 1 child")
+	}
+	return NewTopN(t.Orders, t.N, c[0]), nil
+}
+
+// Stats implements Node.
+func (t *TopN) Stats() Stats {
+	rows := t.Child.Stats().Rows
+	if t.N < rows {
+		rows = t.N
+	}
+	return Stats{Rows: rows}
+}
+
+func (t *TopN) String() string {
+	parts := make([]string, len(t.Orders))
+	for i, o := range t.Orders {
+		parts[i] = o.String()
+	}
+	return fmt.Sprintf("TopN %d [%s]", t.N, strings.Join(parts, ", "))
+}
+
+// ---------------------------------------------------------------------------
 // Limit
 
 // Limit truncates its child to N rows.

@@ -488,6 +488,23 @@ func (m *ShuffleManager) OpenBatchReader(shuffleID, p int, tc *TaskContext) (vec
 	return &shuffleBatchReader{out: out, reducer: p, tc: tc}, nil
 }
 
+// OpenBatchRunReaders opens one batch reader per map task of a columnar
+// shuffle, each limited to that task's bucket for reduce partition p.
+// Where OpenBatchReader concatenates the buckets, this keeps them apart —
+// the sorted-run merge needs each map task's (sorted) output as its own
+// stream. nRuns is the shuffle's map-side partition count.
+func (m *ShuffleManager) OpenBatchRunReaders(shuffleID, nRuns, p int, tc *TaskContext) ([]vector.BatchIter, error) {
+	out, ok := m.lookup(shuffleID)
+	if !ok {
+		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
+	}
+	runs := make([]vector.BatchIter, nRuns)
+	for i := range runs {
+		runs[i] = &shuffleBatchReader{out: out, reducer: p, tc: tc, mapPart: i, lastMap: i + 1}
+	}
+	return runs, nil
+}
+
 // Fetch concatenates reduce partition p across all map outputs (kept for
 // tests and row-bulk callers; the execution path streams through
 // OpenRowReader instead). On a columnar shuffle the sealed batches are
@@ -560,12 +577,14 @@ func (r *shuffleRowReader) Next() (sqltypes.Row, error) {
 }
 
 // shuffleBatchReader streams reduce partition reducer's sealed batches
-// across map outputs.
+// across map outputs — all of them, or the half-open map range
+// [mapPart, lastMap) when lastMap > 0 (per-run readers).
 type shuffleBatchReader struct {
 	out     *shuffleOutput
 	reducer int
 	tc      *TaskContext
 	mapPart int
+	lastMap int // exclusive bound on map parts; 0 = unbounded
 	cur     []*vector.Batch
 	pos     int
 	done    bool
@@ -587,6 +606,10 @@ func (r *shuffleBatchReader) Next() (*vector.Batch, error) {
 		}
 		if err := r.tc.Err(); err != nil {
 			return nil, err
+		}
+		if r.lastMap > 0 && r.mapPart >= r.lastMap {
+			r.done = true
+			return nil, nil
 		}
 		bucket, ok := r.out.batchBucket(r.mapPart, r.reducer)
 		if !ok {

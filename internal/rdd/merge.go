@@ -1,0 +1,55 @@
+package rdd
+
+import (
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// BatchMergeRDD is the reduce side of an order-preserving gather: the
+// parent's partitions cross a columnar exchange into a single reduce
+// partition, but each map task's sealed batches stay apart and are handed
+// to merge as one BatchIter per map task — the shape a k-way merge of
+// per-partition sorted runs needs. (The plain batch gather concatenates
+// the buckets in map order, which destroys sortedness across runs.)
+type BatchMergeRDD struct {
+	id    int
+	dep   *ShuffleDependency
+	nRuns int
+	merge func(tc *TaskContext, runs []vector.BatchIter) (vector.BatchIter, error)
+}
+
+// NewBatchMergeRDD gathers parent through the columnar exchange and
+// computes its single output partition by merging the per-map-task batch
+// streams with merge.
+func (c *Context) NewBatchMergeRDD(parent RDD, schema *sqltypes.Schema,
+	merge func(tc *TaskContext, runs []vector.BatchIter) (vector.BatchIter, error)) *BatchMergeRDD {
+	dep := &ShuffleDependency{
+		P:         parent,
+		ShuffleID: c.nextShuffleID(),
+		Batch:     &BatchExchange{Schema: schema, N: 1},
+	}
+	return &BatchMergeRDD{id: c.nextRDDID(), dep: dep, nRuns: parent.NumPartitions(), merge: merge}
+}
+
+// ID implements RDD.
+func (r *BatchMergeRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *BatchMergeRDD) NumPartitions() int { return 1 }
+
+// Dependencies implements RDD.
+func (r *BatchMergeRDD) Dependencies() []Dependency { return []Dependency{r.dep} }
+
+// Compute implements RDD: the merged batch stream is presented behind the
+// usual row shim, which vectorized consumers splice away.
+func (r *BatchMergeRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	runs, err := tc.Ctx.shuffles.OpenBatchRunReaders(r.dep.ShuffleID, r.nRuns, p, tc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.merge(tc, runs)
+	if err != nil {
+		return nil, err
+	}
+	return vector.NewRowIter(out), nil
+}

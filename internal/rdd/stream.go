@@ -2,6 +2,7 @@ package rdd
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +38,17 @@ type RowStream struct {
 	pos      int
 	finished bool
 	released bool
+
+	// Lazy final stage: single-partition jobs (global sorts, top-n merges,
+	// gathered limits) skip the worker pool and compute their one partition
+	// as an iterator pulled on the consumer's goroutine. The heavy lifting
+	// of such plans sits in shuffle map stages (which still run with full
+	// parallelism); materializing the final stage up front would stall the
+	// first row until the whole merged result exists — and a cursor that
+	// stops early (LIMIT satisfied, Close) never pays for the tail.
+	lazy      bool
+	lazyIter  sqltypes.RowIter
+	lazyCount int
 }
 
 type partResult struct {
@@ -54,6 +66,9 @@ func (c *Context) StreamJob(ctx context.Context, r RDD) *RowStream {
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	n := r.NumPartitions()
+	if n == 1 {
+		return &RowStream{c: c, r: r, ctx: sctx, cancel: cancel, lazy: true}
+	}
 	width := c.parallelism
 	if width > n {
 		width = n
@@ -143,6 +158,9 @@ func (s *RowStream) run(width int) {
 // Next returns the next row, or (nil, nil) when the stream is exhausted.
 // After an error (including cancellation) it keeps returning that error.
 func (s *RowStream) Next() (sqltypes.Row, error) {
+	if s.lazy {
+		return s.lazyNext()
+	}
 	for {
 		if s.finished {
 			return nil, s.takeFinishedErr()
@@ -172,6 +190,53 @@ func (s *RowStream) Next() (sqltypes.Row, error) {
 			return nil, err
 		}
 	}
+}
+
+// lazyNext serves a single-partition job: shuffle stages are materialized
+// on first use (map tasks still run on the task pool), then the one final
+// partition is computed as an iterator and pulled row-at-a-time — so the
+// consumer sees the first row as soon as the final stage can produce it,
+// and abandoning the stream early skips the rest of the final stage
+// entirely. The task counters mark the final task started at compute and
+// completed only on exhaustion; a truncated stream leaves it incomplete.
+func (s *RowStream) lazyNext() (sqltypes.Row, error) {
+	if s.finished {
+		return nil, s.takeFinishedErr()
+	}
+	if s.lazyIter == nil {
+		if err := s.c.ensureShuffles(s.ctx, s.r, map[int]bool{}); err != nil {
+			s.finishWithErr(err)
+			return nil, err
+		}
+		s.c.tasksStarted.Add(1)
+		tc := &TaskContext{Ctx: s.c, Partition: 0, ctx: s.ctx}
+		it, err := s.r.Compute(tc, 0)
+		if err != nil {
+			err = fmt.Errorf("rdd: partition 0 of rdd %d: %w", s.r.ID(), err)
+			s.finishWithErr(err)
+			return nil, err
+		}
+		s.lazyIter = it
+	}
+	if s.lazyCount%1024 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			err = s.takeErr()
+			s.finishWithErr(err)
+			return nil, err
+		}
+	}
+	row, err := s.lazyIter.Next()
+	if err != nil {
+		s.finishWithErr(err)
+		return nil, err
+	}
+	if row == nil {
+		s.c.tasksCompleted.Add(1)
+		s.finish()
+		return nil, nil
+	}
+	s.lazyCount++
+	return row, nil
 }
 
 func (s *RowStream) takeFinishedErr() error {
@@ -213,5 +278,6 @@ func (s *RowStream) release() {
 	}
 	s.released = true
 	s.cur = nil
+	s.lazyIter = nil
 	s.c.releaseShuffles(s.r, map[int]bool{})
 }

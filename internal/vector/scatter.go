@@ -19,6 +19,9 @@ type BatchBuilder struct {
 	target int
 	cur    *Batch
 	sealed []*Batch
+	// identity is the reusable 0..n-1 selection Append uses to take whole
+	// batches.
+	identity []int
 }
 
 // NewBatchBuilder returns a builder producing batches of up to target rows

@@ -1,0 +1,908 @@
+package vector
+
+import (
+	"sort"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/sqltypes"
+)
+
+// This file is the batch-native sort kernel set: sort keys are extracted
+// column-wise into flat typed lanes (KeyLanes), a permutation over those
+// lanes is sorted without boxing a single value (SortIndices), and the
+// permutation is applied with a multi-batch gather (GatherInto). Sorted
+// runs are combined by a k-way galloping merge (MergeSorted), and bounded
+// ORDER BY ... LIMIT n plans use the TopN collector, which keeps only the
+// current best n rows per partition instead of materializing the input.
+//
+// All comparisons mirror sqltypes.Compare exactly — NULL sorts first
+// ascending (and therefore last descending, since DESC flips the whole
+// comparison, like the row engine's SortExec) — so the vectorized and
+// row sort paths order identically, ties included.
+
+// KeyLanes holds extracted sort keys as flat typed lanes, one lane per
+// sort term, all lanes equal length. Appends copy out of evaluated key
+// vectors, so the source batches may be reused by their producer.
+type KeyLanes struct {
+	lanes []keyLane
+	n     int
+}
+
+type keyLane struct {
+	t       sqltypes.Type
+	i64     []int64
+	f64     []float64
+	str     []string
+	null    []bool
+	anyNull bool
+
+	// Gather scratch, swapped with the live slices per compaction.
+	spareI64  []int64
+	spareF64  []float64
+	spareStr  []string
+	spareNull []bool
+}
+
+// NewKeyLanes returns empty lanes for the given key types (Bool, Int32,
+// Int64 and Timestamp share the int lane, matching columnar.Vector).
+func NewKeyLanes(types []sqltypes.Type) *KeyLanes {
+	k := &KeyLanes{lanes: make([]keyLane, len(types))}
+	for i, t := range types {
+		k.lanes[i].t = t
+	}
+	return k
+}
+
+// Len returns the number of key rows appended so far.
+func (k *KeyLanes) Len() int { return k.n }
+
+// AppendCols appends one batch's evaluated key vectors (cols[i] feeds lane
+// i; all vectors must share one length).
+func (k *KeyLanes) AppendCols(cols []*columnar.Vector) {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		v := cols[li]
+		switch l.t {
+		case sqltypes.Float64:
+			l.f64 = append(l.f64, v.Float64s()...)
+		case sqltypes.String:
+			l.str = append(l.str, v.Strings()...)
+		default:
+			l.i64 = append(l.i64, v.Int64s()...)
+		}
+		if v.AnyNulls() {
+			for len(l.null) < k.n {
+				l.null = append(l.null, false)
+			}
+			for i := 0; i < n; i++ {
+				isNull := v.IsNull(i)
+				l.null = append(l.null, isNull)
+				l.anyNull = l.anyNull || isNull
+			}
+		} else if l.anyNull {
+			for i := 0; i < n; i++ {
+				l.null = append(l.null, false)
+			}
+		}
+	}
+	k.n += n
+}
+
+// AppendRow appends row i of the evaluated key vectors as one key row.
+func (k *KeyLanes) AppendRow(cols []*columnar.Vector, i int) {
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		v := cols[li]
+		switch l.t {
+		case sqltypes.Float64:
+			l.f64 = append(l.f64, v.Float64s()[i])
+		case sqltypes.String:
+			l.str = append(l.str, v.Strings()[i])
+		default:
+			l.i64 = append(l.i64, v.Int64s()[i])
+		}
+		if isNull := v.AnyNulls() && v.IsNull(i); isNull || l.anyNull {
+			for len(l.null) < k.n {
+				l.null = append(l.null, false)
+			}
+			l.null = append(l.null, isNull)
+			l.anyNull = l.anyNull || isNull
+		}
+	}
+	k.n++
+}
+
+// isNull reports whether lane li's key at row i is NULL.
+func (l *keyLane) isNull(i int) bool {
+	return l.anyNull && i < len(l.null) && l.null[i]
+}
+
+// Gather compacts the lanes to the given rows. sel is in arbitrary order
+// (the TopN collector passes its heap), so the gather goes through spare
+// buffers — an in-place walk would read slots an earlier iteration
+// already overwrote whenever sel[i] < i.
+func (k *KeyLanes) Gather(sel []int) {
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		switch l.t {
+		case sqltypes.Float64:
+			if cap(l.spareF64) < len(sel) {
+				l.spareF64 = make([]float64, len(sel))
+			}
+			out := l.spareF64[:len(sel)]
+			for i, s := range sel {
+				out[i] = l.f64[s]
+			}
+			l.f64, l.spareF64 = out, l.f64[:0]
+		case sqltypes.String:
+			if cap(l.spareStr) < len(sel) {
+				l.spareStr = make([]string, len(sel))
+			}
+			out := l.spareStr[:len(sel)]
+			for i, s := range sel {
+				out[i] = l.str[s]
+			}
+			l.str, l.spareStr = out, l.str[:0]
+		default:
+			if cap(l.spareI64) < len(sel) {
+				l.spareI64 = make([]int64, len(sel))
+			}
+			out := l.spareI64[:len(sel)]
+			for i, s := range sel {
+				out[i] = l.i64[s]
+			}
+			l.i64, l.spareI64 = out, l.i64[:0]
+		}
+		if l.anyNull {
+			if cap(l.spareNull) < len(sel) {
+				l.spareNull = make([]bool, len(sel))
+			}
+			out := l.spareNull[:len(sel)]
+			any := false
+			for i, s := range sel {
+				nv := l.isNull(s)
+				out[i] = nv
+				any = any || nv
+			}
+			l.null, l.spareNull = out, l.null[:0]
+			l.anyNull = any
+		}
+	}
+	k.n = len(sel)
+}
+
+// Compare orders key rows a and b with sqltypes.Compare semantics per
+// lane, flipping lanes marked desc (NULL first ascending, last
+// descending). It is the switch-per-call comparator heap operations use;
+// the index sort builds typed closures instead (Comparators).
+func (k *KeyLanes) Compare(a, b int, desc []bool) int {
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		c := l.compare(a, b)
+		if c == 0 {
+			continue
+		}
+		if desc[li] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+func (l *keyLane) compare(a, b int) int {
+	an, bn := l.isNull(a), l.isNull(b)
+	if an || bn {
+		return compareNulls(an, bn)
+	}
+	switch l.t {
+	case sqltypes.Float64:
+		return compareFloat64(l.f64[a], l.f64[b])
+	case sqltypes.String:
+		return compareString(l.str[a], l.str[b])
+	default:
+		return compareInt64(l.i64[a], l.i64[b])
+	}
+}
+
+func compareNulls(an, bn bool) int {
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Comparators builds one typed compare closure per lane (desc applied),
+// capturing the lane slices directly so the sort's hot loop runs without
+// per-comparison type switches. The closures are invalidated by later
+// appends or Gather calls; build them fresh right before sorting.
+func (k *KeyLanes) Comparators(desc []bool) []func(a, b int) int {
+	out := make([]func(a, b int) int, len(k.lanes))
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		sign := 1
+		if desc[li] {
+			sign = -1
+		}
+		if l.anyNull {
+			nulls := l.null
+			switch l.t {
+			case sqltypes.Float64:
+				vals := l.f64
+				out[li] = func(a, b int) int {
+					if nulls[a] || nulls[b] {
+						return sign * compareNulls(nulls[a], nulls[b])
+					}
+					return sign * compareFloat64(vals[a], vals[b])
+				}
+			case sqltypes.String:
+				vals := l.str
+				out[li] = func(a, b int) int {
+					if nulls[a] || nulls[b] {
+						return sign * compareNulls(nulls[a], nulls[b])
+					}
+					return sign * compareString(vals[a], vals[b])
+				}
+			default:
+				vals := l.i64
+				out[li] = func(a, b int) int {
+					if nulls[a] || nulls[b] {
+						return sign * compareNulls(nulls[a], nulls[b])
+					}
+					return sign * compareInt64(vals[a], vals[b])
+				}
+			}
+			continue
+		}
+		switch l.t {
+		case sqltypes.Float64:
+			vals := l.f64
+			out[li] = func(a, b int) int { return sign * compareFloat64(vals[a], vals[b]) }
+		case sqltypes.String:
+			vals := l.str
+			out[li] = func(a, b int) int { return sign * compareString(vals[a], vals[b]) }
+		default:
+			vals := l.i64
+			out[li] = func(a, b int) int { return sign * compareInt64(vals[a], vals[b]) }
+		}
+	}
+	return out
+}
+
+// SortIndices returns the stable sorted permutation of the key rows:
+// out[0] is the position of the smallest key. Stability comes from an
+// index tiebreak, which is cheaper than sort.SliceStable's insertion
+// passes and gives the same order.
+func SortIndices(k *KeyLanes, desc []bool) []int {
+	idx := make([]int, k.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	cmps := k.Comparators(desc)
+	if len(cmps) == 1 {
+		cmp := cmps[0]
+		sort.Slice(idx, func(x, y int) bool {
+			a, b := idx[x], idx[y]
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+			return a < b
+		})
+		return idx
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for _, cmp := range cmps {
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	})
+	return idx
+}
+
+// CompareKeyVecs orders row ai of evaluated key vectors a against row bi
+// of key vectors b (same lane types), with per-lane desc flips — the
+// cross-run comparator of the merge and the candidate test of TopN.
+func CompareKeyVecs(a []*columnar.Vector, ai int, b []*columnar.Vector, bi int, desc []bool) int {
+	for li := range a {
+		av, bv := a[li], b[li]
+		an := av.AnyNulls() && av.IsNull(ai)
+		bn := bv.AnyNulls() && bv.IsNull(bi)
+		var c int
+		if an || bn {
+			c = compareNulls(an, bn)
+		} else {
+			switch av.Type {
+			case sqltypes.Float64:
+				c = compareFloat64(av.Float64s()[ai], bv.Float64s()[bi])
+			case sqltypes.String:
+				c = compareString(av.Strings()[ai], bv.Strings()[bi])
+			default:
+				c = compareInt64(av.Int64s()[ai], bv.Int64s()[bi])
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		if desc[li] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// compareVecLanes orders row i of evaluated key vectors against stored key
+// row j of the lanes.
+func (k *KeyLanes) compareVecLanes(cols []*columnar.Vector, i, j int, desc []bool) int {
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		v := cols[li]
+		an := v.AnyNulls() && v.IsNull(i)
+		bn := l.isNull(j)
+		var c int
+		if an || bn {
+			c = compareNulls(an, bn)
+		} else {
+			switch l.t {
+			case sqltypes.Float64:
+				c = compareFloat64(v.Float64s()[i], l.f64[j])
+			case sqltypes.String:
+				c = compareString(v.Strings()[i], l.str[j])
+			default:
+				c = compareInt64(v.Int64s()[i], l.i64[j])
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		if desc[li] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Multi-batch gather — applying a sort permutation.
+
+// GatherInto overwrites dst with the rows of src selected by idx (global
+// positions: src[g/chunk] row g%chunk; every src batch except the last
+// must hold exactly chunk rows). It is Gather generalized across the
+// sealed batches a sorted partition is buffered into.
+func GatherInto(dst *Batch, src []*Batch, chunk int, idx []int) {
+	if len(src) == 0 {
+		for c := range dst.Cols {
+			dst.Cols[c].Reset(dst.Schema.Fields[c].Type)
+		}
+		dst.SetLen(0)
+		return
+	}
+	for c := range dst.Cols {
+		dc := dst.Cols[c]
+		t := src[0].Cols[c].Type
+		dc.Reset(t)
+		dc.Resize(len(idx))
+		switch t {
+		case sqltypes.Float64:
+			out := dc.Float64s()
+			for i, g := range idx {
+				out[i] = src[g/chunk].Cols[c].Float64s()[g%chunk]
+			}
+		case sqltypes.String:
+			out := dc.Strings()
+			for i, g := range idx {
+				out[i] = src[g/chunk].Cols[c].Strings()[g%chunk]
+			}
+		default:
+			out := dc.Int64s()
+			for i, g := range idx {
+				out[i] = src[g/chunk].Cols[c].Int64s()[g%chunk]
+			}
+		}
+		for i, g := range idx {
+			sc := src[g/chunk].Cols[c]
+			if sc.AnyNulls() && sc.IsNull(g%chunk) {
+				dc.SetNull(i)
+			}
+		}
+	}
+	dst.SetLen(len(idx))
+}
+
+// Append appends every row of b to the builder (the identity-selection
+// buffering path sorts use to take ownership of producer-reused batches).
+func (b *BatchBuilder) Append(src *Batch) {
+	n := src.Len()
+	for len(b.identity) < n {
+		b.identity = append(b.identity, len(b.identity))
+	}
+	b.AppendSelected(src, b.identity[:n])
+}
+
+// ---------------------------------------------------------------------------
+// K-way merge of sorted runs.
+
+// KeyExtract evaluates a run batch's sort keys into one vector per sort
+// term. The physical layer supplies one extractor per run (compiled kernels
+// own scratch state and must not be shared across runs).
+type KeyExtract func(*Batch) ([]*columnar.Vector, error)
+
+// sortedRun is the merge's cursor over one sorted batch stream.
+type sortedRun struct {
+	in      BatchIter
+	extract KeyExtract
+	ord     int // run index; ties resolve in run order (= partition order)
+	b       *Batch
+	keys    []*columnar.Vector
+	pos     int
+}
+
+// advance loads the run's next non-empty batch and extracts its keys,
+// reporting false when the run is exhausted.
+func (r *sortedRun) advance() (bool, error) {
+	for {
+		b, err := r.in.Next()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			r.b = nil
+			return false, nil
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		keys, err := r.extract(b)
+		if err != nil {
+			return false, err
+		}
+		r.b, r.keys, r.pos = b, keys, 0
+		return true, nil
+	}
+}
+
+// MergeSorted merges k sorted batch streams into one sorted batch stream,
+// optionally truncating to limit rows (limit < 0 = unlimited). Runs of
+// equal keys resolve in run order, so merging the sorted runs of
+// partitions 0..k-1 reproduces the row engine's gather-then-stable-sort
+// order exactly. The merge gallops: it binary-searches how far the
+// leading run stays ahead of the runner-up and gathers that whole segment
+// column-wise, so range-partitioned inputs merge at near-copy speed.
+type MergeSorted struct {
+	desc  []bool
+	runs  []*sortedRun // min-heap on current row key (index 0 = smallest)
+	out   *Batch
+	sel   []int
+	limit int64
+	init  bool
+	done  bool
+}
+
+// NewMergeSorted builds a merge of ins (each already sorted by the same
+// keys) producing batches of schema. extracts[i] evaluates run i's keys.
+func NewMergeSorted(schema *sqltypes.Schema, ins []BatchIter, extracts []KeyExtract,
+	desc []bool, limit int64) *MergeSorted {
+	m := &MergeSorted{desc: desc, out: NewBatch(schema), limit: limit}
+	for i, in := range ins {
+		m.runs = append(m.runs, &sortedRun{in: in, extract: extracts[i], ord: i})
+	}
+	return m
+}
+
+// less orders two runs by their current row key, run index breaking ties.
+func (m *MergeSorted) less(a, b *sortedRun) bool {
+	c := CompareKeyVecs(a.keys, a.pos, b.keys, b.pos, m.desc)
+	if c != 0 {
+		return c < 0
+	}
+	return a.ord < b.ord
+}
+
+func (m *MergeSorted) siftDown(i int) {
+	n := len(m.runs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.less(m.runs[l], m.runs[small]) {
+			small = l
+		}
+		if r < n && m.less(m.runs[r], m.runs[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.runs[i], m.runs[small] = m.runs[small], m.runs[i]
+		i = small
+	}
+}
+
+// start loads every run's first batch and heapifies.
+func (m *MergeSorted) start() error {
+	live := m.runs[:0]
+	for _, r := range m.runs {
+		ok, err := r.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			live = append(live, r)
+		}
+	}
+	m.runs = live
+	for i := len(m.runs)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	m.init = true
+	return nil
+}
+
+// pop removes the exhausted root run.
+func (m *MergeSorted) pop() {
+	n := len(m.runs) - 1
+	m.runs[0] = m.runs[n]
+	m.runs = m.runs[:n]
+	if n > 1 {
+		m.siftDown(0)
+	}
+}
+
+// runnerUp returns the heap's second-smallest run (root's better child).
+func (m *MergeSorted) runnerUp() *sortedRun {
+	switch len(m.runs) {
+	case 2:
+		return m.runs[1]
+	default:
+		if m.less(m.runs[2], m.runs[1]) {
+			return m.runs[2]
+		}
+		return m.runs[1]
+	}
+}
+
+// gallop returns how many rows of the root's current batch (from pos) sort
+// before the runner-up's current row: a binary search over the sorted
+// batch. Rows equal to the runner-up's key count when the root's run index
+// is smaller (ties resolve in run order).
+func (m *MergeSorted) gallop(root, next *sortedRun) int {
+	lo, hi := root.pos, root.b.Len() // invariant: rows [root.pos, lo) win
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := CompareKeyVecs(root.keys, mid, next.keys, next.pos, m.desc)
+		if c < 0 || (c == 0 && root.ord < next.ord) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - root.pos
+}
+
+// Next implements BatchIter, producing the next merged batch (reused
+// across calls).
+func (m *MergeSorted) Next() (*Batch, error) {
+	if m.done {
+		return nil, nil
+	}
+	if !m.init {
+		if err := m.start(); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.runs) == 0 || m.limit == 0 {
+		m.done = true
+		return nil, nil
+	}
+	// Single live run: its stream is already sorted; forward batches,
+	// slicing off the tail when the limit lands mid-batch.
+	if len(m.runs) == 1 {
+		return m.forwardSingle()
+	}
+	m.out.Reset()
+	m.sel = m.sel[:0]
+	room := DefaultBatchSize
+	if m.limit >= 0 && int64(room) > m.limit {
+		room = int(m.limit)
+	}
+	for room > 0 && len(m.runs) > 1 {
+		root := m.runs[0]
+		take := m.gallop(root, m.runnerUp())
+		if take > room {
+			take = room
+		}
+		if take > 0 {
+			m.sel = m.sel[:0]
+			for i := 0; i < take; i++ {
+				m.sel = append(m.sel, root.pos+i)
+			}
+			appendGather(m.out, root.b, m.sel)
+			root.pos += take
+			room -= take
+		}
+		if root.pos >= root.b.Len() {
+			ok, err := root.advance()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				m.pop()
+				continue
+			}
+		}
+		m.siftDown(0)
+	}
+	if m.limit > 0 {
+		m.limit -= int64(m.out.Len())
+	}
+	if m.out.Len() == 0 {
+		// Down to one run without emitting: forward from it directly.
+		if len(m.runs) == 1 {
+			return m.forwardSingle()
+		}
+		m.done = true
+		return nil, nil
+	}
+	return m.out, nil
+}
+
+// forwardSingle serves the last live run's batches. The run's current
+// batch may be partially consumed (pos > 0), in which case the remainder
+// is gathered once; later batches pass through untouched.
+func (m *MergeSorted) forwardSingle() (*Batch, error) {
+	r := m.runs[0]
+	for {
+		if r.b == nil {
+			ok, err := r.advance()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				m.done = true
+				return nil, nil
+			}
+		}
+		n := r.b.Len() - r.pos
+		if n <= 0 {
+			r.b = nil
+			continue
+		}
+		if m.limit >= 0 && int64(n) > m.limit {
+			n = int(m.limit)
+		}
+		if n == 0 {
+			m.done = true
+			return nil, nil
+		}
+		var out *Batch
+		if r.pos == 0 && n == r.b.Len() {
+			out = r.b
+		} else {
+			m.sel = m.sel[:0]
+			for i := 0; i < n; i++ {
+				m.sel = append(m.sel, r.pos+i)
+			}
+			m.out.Reset()
+			appendGather(m.out, r.b, m.sel)
+			out = m.out
+		}
+		if m.limit > 0 {
+			m.limit -= int64(n)
+		}
+		r.b = nil // consumed (or truncated by the limit)
+		return out, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Bounded Top-N collection.
+
+// TopN keeps the n best rows seen so far under the sort keys: a bounded
+// max-heap (worst kept row at the root) over a compacting columnar store,
+// so a 1M-row partition scanning into ORDER BY ... LIMIT 100 holds ~100
+// candidate rows instead of the partition. Tie behavior matches taking
+// the first n rows of a stable sort: a new row displaces the worst kept
+// row only when its key is strictly better, and among equal-key kept rows
+// the latest arrival is evicted first.
+type TopN struct {
+	n    int
+	desc []bool
+
+	store *Batch // candidate rows, append-only between compactions
+	spare *Batch
+	keys  *KeyLanes
+	seq   []int64 // arrival order per store row (tie resolution)
+	next  int64
+	heap  []int // store positions; root = worst under (key, seq)
+
+	one []int // scratch single-row selection
+}
+
+// NewTopN builds a collector of the n smallest key rows for batches of
+// schema. keyTypes/desc describe the extracted sort keys.
+func NewTopN(schema *sqltypes.Schema, keyTypes []sqltypes.Type, desc []bool, n int) *TopN {
+	return &TopN{
+		n:     n,
+		desc:  desc,
+		store: NewBatch(schema),
+		spare: NewBatch(schema),
+		keys:  NewKeyLanes(keyTypes),
+		one:   make([]int, 1),
+	}
+}
+
+// worse orders store rows for the max-heap: by key descending-first (the
+// worst key wins the root), later arrivals first among equal keys (so the
+// eviction order preserves stable-sort-prefix semantics).
+func (t *TopN) worse(a, b int) bool {
+	c := t.keys.Compare(a, b, t.desc)
+	if c != 0 {
+		return c > 0
+	}
+	return t.seq[a] > t.seq[b]
+}
+
+func (t *TopN) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[p]) {
+			return
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *TopN) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && t.worse(t.heap[l], t.heap[w]) {
+			w = l
+		}
+		if r < n && t.worse(t.heap[r], t.heap[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.heap[i], t.heap[w] = t.heap[w], t.heap[i]
+		i = w
+	}
+}
+
+// add stores row i of b (keys alongside) and returns its store position.
+func (t *TopN) add(b *Batch, keys []*columnar.Vector, i int) int {
+	pos := t.store.Len()
+	t.one[0] = i
+	appendGather(t.store, b, t.one)
+	t.keys.AppendRow(keys, i)
+	t.seq = append(t.seq, t.next)
+	t.next++
+	return pos
+}
+
+// Push offers every row of b (keys pre-evaluated, one vector per sort
+// term) to the collector.
+func (t *TopN) Push(b *Batch, keys []*columnar.Vector) {
+	if t.n == 0 {
+		return
+	}
+	i := 0
+	for len(t.heap) < t.n && i < b.Len() {
+		t.heap = append(t.heap, t.add(b, keys, i))
+		t.siftUp(len(t.heap) - 1)
+		i++
+	}
+	for ; i < b.Len(); i++ {
+		// Strictly better than the worst kept key, or out. The first lane
+		// decides for most rows; compareVecLanes short-circuits there.
+		if t.keys.compareVecLanes(keys, i, t.heap[0], t.desc) >= 0 {
+			continue
+		}
+		t.heap[0] = t.add(b, keys, i)
+		t.siftDown(0)
+		if t.store.Len() >= t.compactAt() {
+			t.compact()
+		}
+	}
+}
+
+// compactAt is the store size that triggers dropping evicted rows.
+func (t *TopN) compactAt() int {
+	at := 4 * t.n
+	if at < 4096 {
+		at = 4096
+	}
+	return at
+}
+
+// compact gathers the live heap rows to the front of the store (heap
+// order, positions relabelled 0..len-1, which preserves the heap shape).
+func (t *TopN) compact() {
+	Gather(t.spare, t.store, t.heap)
+	t.store, t.spare = t.spare, t.store
+	seq := make([]int64, len(t.heap))
+	for i, p := range t.heap {
+		seq[i] = t.seq[p]
+	}
+	t.seq = seq
+	t.keys.Gather(t.heap)
+	for i := range t.heap {
+		t.heap[i] = i
+	}
+}
+
+// Emit returns the kept rows as a sorted run (ascending under the keys,
+// arrival order among ties), consuming the collector.
+func (t *TopN) Emit() []*Batch {
+	if len(t.heap) == 0 {
+		return nil
+	}
+	order := append([]int(nil), t.heap...)
+	cmps := t.keys.Comparators(t.desc)
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		for _, cmp := range cmps {
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+		}
+		return t.seq[a] < t.seq[b]
+	})
+	out := NewBatchBuilder(t.store.Schema, DefaultBatchSize)
+	for len(order) > 0 {
+		n := DefaultBatchSize
+		if n > len(order) {
+			n = len(order)
+		}
+		out.AppendSelected(t.store, order[:n])
+		order = order[n:]
+	}
+	return out.Seal()
+}

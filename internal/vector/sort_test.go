@@ -1,0 +1,319 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/sqltypes"
+)
+
+// sortTestSchema is (id INT64, val FLOAT64 NULL, tag STRING NULL).
+func sortTestSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "val", Type: sqltypes.Float64, Nullable: true},
+		sqltypes.Field{Name: "tag", Type: sqltypes.String, Nullable: true},
+	)
+}
+
+func randSortRows(rng *rand.Rand, n, nullFrac int) []sqltypes.Row {
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		val := sqltypes.NewFloat64(float64(rng.Intn(20))) // heavy ties
+		tag := sqltypes.NewString(fmt.Sprintf("t%d", rng.Intn(4)))
+		if nullFrac > 0 {
+			if rng.Intn(nullFrac) == 0 {
+				val = sqltypes.Null
+			}
+			if rng.Intn(nullFrac) == 0 {
+				tag = sqltypes.Null
+			}
+		}
+		rows[i] = sqltypes.Row{sqltypes.NewInt64(int64(i)), val, tag}
+	}
+	return rows
+}
+
+func batchesOf(t *testing.T, schema *sqltypes.Schema, rows []sqltypes.Row, size int) []*Batch {
+	t.Helper()
+	bb := NewBatchBuilder(schema, size)
+	b := NewBatch(schema)
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == size {
+			bb.Append(b)
+			b.Reset()
+		}
+	}
+	if b.Len() > 0 {
+		bb.Append(b)
+	}
+	return bb.Seal()
+}
+
+// keyVecsOf evaluates key columns (by ordinal) of a batch.
+func keyVecsOf(b *Batch, ords []int) []*columnar.Vector {
+	out := make([]*columnar.Vector, len(ords))
+	for i, o := range ords {
+		out[i] = b.Cols[o]
+	}
+	return out
+}
+
+// rowSortRef sorts rows with the row engine's semantics (stable,
+// sqltypes.Compare per key, desc flips).
+func rowSortRef(rows []sqltypes.Row, ords []int, desc []bool) []sqltypes.Row {
+	out := append([]sqltypes.Row(nil), rows...)
+	sort.SliceStable(out, func(a, b int) bool {
+		for k, o := range ords {
+			c := sqltypes.Compare(out[a][o], out[b][o])
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out
+}
+
+func drainRows(t *testing.T, it BatchIter) []sqltypes.Row {
+	t.Helper()
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func sortRowsEqual(t *testing.T, want, got []sqltypes.Row, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: want %d rows, got %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if fmt.Sprint(want[i]) != fmt.Sprint(got[i]) {
+			t.Fatalf("%s: row %d differs: want %v, got %v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// sortViaLanes runs the full kernel pipeline (extract keys into lanes,
+// sort indices, multi-batch gather) over the given batches.
+func sortViaLanes(t *testing.T, schema *sqltypes.Schema, batches []*Batch, ords []int, desc []bool, chunk int) []sqltypes.Row {
+	t.Helper()
+	keyTypes := make([]sqltypes.Type, len(ords))
+	for i, o := range ords {
+		keyTypes[i] = schema.Fields[o].Type
+	}
+	lanes := NewKeyLanes(keyTypes)
+	for _, b := range batches {
+		lanes.AppendCols(keyVecsOf(b, ords))
+	}
+	idx := SortIndices(lanes, desc)
+	out := NewBatch(schema)
+	GatherInto(out, batches, chunk, idx)
+	var rows []sqltypes.Row
+	for i := 0; i < out.Len(); i++ {
+		rows = append(rows, out.Row(i))
+	}
+	return rows
+}
+
+func TestSortIndicesMatchesRowSort(t *testing.T) {
+	schema := sortTestSchema()
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		ords []int
+		desc []bool
+	}{
+		{"single-float", []int{1}, []bool{false}},
+		{"single-float-desc", []int{1}, []bool{true}},
+		{"string-then-float", []int{2, 1}, []bool{false, true}},
+		{"int", []int{0}, []bool{false}},
+	}
+	for _, n := range []int{0, 1, 63, 64, 100, 2500} {
+		rows := randSortRows(rng, n, 5)
+		batches := batchesOf(t, schema, rows, 256)
+		for _, tc := range cases {
+			got := sortViaLanes(t, schema, batches, tc.ords, tc.desc, 256)
+			want := rowSortRef(rows, tc.ords, tc.desc)
+			sortRowsEqual(t, want, got, fmt.Sprintf("n=%d/%s", n, tc.name))
+		}
+	}
+}
+
+func TestSortIndicesStability(t *testing.T) {
+	// All-equal keys: the permutation must be the identity.
+	lanes := NewKeyLanes([]sqltypes.Type{sqltypes.Int64})
+	v := columnar.NewVector(sqltypes.Int64)
+	for i := 0; i < 500; i++ {
+		if err := v.Append(sqltypes.NewInt64(42)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lanes.AppendCols([]*columnar.Vector{v})
+	idx := SortIndices(lanes, []bool{true})
+	for i, p := range idx {
+		if p != i {
+			t.Fatalf("equal keys reordered: idx[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestMergeSortedMatchesRowSort(t *testing.T) {
+	schema := sortTestSchema()
+	rng := rand.New(rand.NewSource(11))
+	ords, desc := []int{1, 2}, []bool{false, false}
+	for _, tc := range []struct {
+		name  string
+		runs  []int // rows per run
+		limit int64
+	}{
+		{"two-runs", []int{500, 700}, -1},
+		{"empty-runs", []int{0, 300, 0, 40}, -1},
+		{"all-empty", []int{0, 0}, -1},
+		{"single-run", []int{900}, -1},
+		{"limit-mid-batch", []int{600, 600}, 100},
+		{"limit-zero", []int{50, 50}, 0},
+		{"limit-beyond", []int{30, 30}, 1000},
+		{"many-runs", []int{100, 1, 2000, 5, 0, 64}, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var all []sqltypes.Row
+			var ins []BatchIter
+			var extracts []KeyExtract
+			for _, n := range tc.runs {
+				rows := rowSortRef(randSortRows(rng, n, 4), ords, desc)
+				all = append(all, rows...)
+				ins = append(ins, NewSliceIter(batchesOf(t, schema, rows, 128)))
+				extracts = append(extracts, func(b *Batch) ([]*columnar.Vector, error) {
+					return keyVecsOf(b, ords), nil
+				})
+			}
+			// Reference: runs concatenated in run order, stable sorted
+			// (run-index tiebreak = concatenation order).
+			want := rowSortRef(all, ords, desc)
+			if tc.limit >= 0 && int64(len(want)) > tc.limit {
+				want = want[:tc.limit]
+			}
+			m := NewMergeSorted(schema, ins, extracts, desc, tc.limit)
+			got := drainRows(t, m)
+			sortRowsEqual(t, want, got, tc.name)
+		})
+	}
+}
+
+func TestTopNMatchesSortPrefix(t *testing.T) {
+	schema := sortTestSchema()
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range []struct {
+		name string
+		rows int
+		n    int
+		ords []int
+		desc []bool
+	}{
+		{"basic", 5000, 10, []int{1}, []bool{false}},
+		{"desc", 5000, 10, []int{1}, []bool{true}},
+		{"composite", 4000, 25, []int{2, 1}, []bool{false, true}},
+		{"n-zero", 100, 0, []int{1}, []bool{false}},
+		{"n-beyond", 40, 100, []int{1}, []bool{false}},
+		{"heavy-ties-compaction", 60000, 50, []int{1}, []bool{false}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rows := randSortRows(rng, tc.rows, 6)
+			keyTypes := make([]sqltypes.Type, len(tc.ords))
+			for i, o := range tc.ords {
+				keyTypes[i] = schema.Fields[o].Type
+			}
+			top := NewTopN(schema, keyTypes, tc.desc, tc.n)
+			for _, b := range batchesOf(t, schema, rows, 256) {
+				top.Push(b, keyVecsOf(b, tc.ords))
+			}
+			got := drainRows(t, NewSliceIter(top.Emit()))
+			want := rowSortRef(rows, tc.ords, tc.desc)
+			if len(want) > tc.n {
+				want = want[:tc.n]
+			}
+			sortRowsEqual(t, want, got, tc.name)
+		})
+	}
+}
+
+// TestTopNCompactionKeepsEarlySurvivors drives the compaction path hard:
+// a strictly-improving key stream (descending values under an ascending
+// sort) forces a store replacement per row, so the store crosses
+// compactAt() many times — and the global best row, seen first, must
+// survive every compaction. Pins the in-place-gather corruption where a
+// heap-ordered (non-monotonic) selection overwrote early key slots
+// before reading them.
+func TestTopNCompactionKeepsEarlySurvivors(t *testing.T) {
+	schema := sqltypes.NewSchema(
+		sqltypes.Field{Name: "id", Type: sqltypes.Int64},
+		sqltypes.Field{Name: "v", Type: sqltypes.Int64},
+	)
+	const total, n = 20_000, 4
+	rows := make([]sqltypes.Row, total)
+	rows[0] = sqltypes.Row{sqltypes.NewInt64(0), sqltypes.NewInt64(0)} // global best, first
+	for i := 1; i < total; i++ {
+		rows[i] = sqltypes.Row{sqltypes.NewInt64(int64(i)), sqltypes.NewInt64(int64(total - i))}
+	}
+	top := NewTopN(schema, []sqltypes.Type{sqltypes.Int64}, []bool{false}, n)
+	for _, b := range batchesOf(t, schema, rows, 256) {
+		top.Push(b, keyVecsOf(b, []int{1}))
+	}
+	got := drainRows(t, NewSliceIter(top.Emit()))
+	want := rowSortRef(rows, []int{1}, []bool{false})[:n]
+	sortRowsEqual(t, want, got, "compaction")
+	if got[0][0].Int64Val() != 0 {
+		t.Fatalf("global best (id 0) did not survive compaction: %v", got)
+	}
+}
+
+func TestGatherIntoEmpty(t *testing.T) {
+	schema := sortTestSchema()
+	out := NewBatch(schema)
+	GatherInto(out, nil, 128, nil)
+	if out.Len() != 0 {
+		t.Fatalf("gather of no sources produced %d rows", out.Len())
+	}
+}
+
+func TestKeyLanesNullTransitions(t *testing.T) {
+	// First batch has no nulls, second does, third doesn't: null tracking
+	// must stay positionally aligned.
+	lanes := NewKeyLanes([]sqltypes.Type{sqltypes.Int64})
+	mk := func(vals ...any) *columnar.Vector {
+		v := columnar.NewVector(sqltypes.Int64)
+		for _, x := range vals {
+			if x == nil {
+				if err := v.Append(sqltypes.Null); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := v.Append(sqltypes.NewInt64(int64(x.(int)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v
+	}
+	lanes.AppendCols([]*columnar.Vector{mk(5, 3)})
+	lanes.AppendCols([]*columnar.Vector{mk(nil, 1)})
+	lanes.AppendCols([]*columnar.Vector{mk(2)})
+	idx := SortIndices(lanes, []bool{false})
+	want := []int{2, 3, 4, 1, 0} // NULL, 1, 2, 3, 5
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("null transition sort: got %v, want %v", idx, want)
+		}
+	}
+}

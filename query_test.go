@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -106,6 +107,56 @@ func TestLimitStreamingEarlyTerminates(t *testing.T) {
 	}
 	if fmt.Sprint(got) != fmt.Sprint(all[:5]) {
 		t.Fatalf("streamed LIMIT rows %v differ from Collect prefix %v", got, all[:5])
+	}
+}
+
+// TestLimitStreamingEarlyTerminatesSorted: ORDER BY ... LIMIT n over a
+// cursor. Every partition must contribute its top-n candidates (a global
+// top-n can skip no partition), but the final merge is bounded: it stops
+// the moment the merged heap has proven no later row enters the top n —
+// n rows delivered — instead of draining the full sorted result. The
+// merge runs as a lazy final-stage task: abandoning the cursor mid-merge
+// leaves that task started but never completed.
+func TestLimitStreamingEarlyTerminatesSorted(t *testing.T) {
+	const nRows, nParts = 200_000, 32
+	s, df := newStreamSession(t, nRows, nParts, 4)
+
+	// Reference: the sorted prefix (same engine, full-sort plan).
+	all, err := df.OrderBy("val", "id").Limit(5).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseStarted := s.Context().TasksStarted()
+	baseCompleted := s.Context().TasksCompleted()
+	rows, err := df.OrderBy("val", "id").Limit(5).Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Row
+	for len(got) < 3 && rows.Next() {
+		got = append(got, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(all[:3]) {
+		t.Fatalf("streamed top-n rows %v differ from sorted prefix %v", got, all[:3])
+	}
+	// One heap task per partition plus the lazy merge task — no gather
+	// stage, no global-limit stage.
+	started := s.Context().TasksStarted() - baseStarted
+	if started != nParts+1 {
+		t.Fatalf("top-n cursor started %d tasks, want %d map + 1 merge", started, nParts)
+	}
+	// The abandoned merge never drained the remaining candidate rows: all
+	// map tasks completed, the merge task did not.
+	completed := s.Context().TasksCompleted() - baseCompleted
+	if completed != nParts {
+		t.Fatalf("top-n cursor completed %d tasks, want %d (merge must stay incomplete)", completed, nParts)
 	}
 }
 
@@ -412,6 +463,66 @@ func TestPreparedStatementErrors(t *testing.T) {
 	if _, err := s.MustSQL("SELECT id FROM users WHERE id = ?").Collect(); err == nil {
 		t.Fatal("ad-hoc execution of parameterized SQL did not fail")
 	}
+}
+
+// TestPreparedParamBelowVecExchange: a parameter that sits beneath a
+// columnar exchange (a row Filter with a placeholder feeding a vectorized
+// shuffle GROUP BY) must still be bound — the plan rewrite has to recurse
+// through VecExchange, not stop at it and hand back the template with the
+// placeholder unbound.
+func TestPreparedParamBelowVecExchange(t *testing.T) {
+	s := NewSession(Config{TablePartitions: 4})
+	df, err := s.CreateTable("t", bigSchema(), func() []Row {
+		rows := make([]Row, 4_000)
+		for i := range rows {
+			rows[i] = R(int64(i), int64(i%50))
+		}
+		return rows
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Cache(); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT val, COUNT(*) AS c FROM t WHERE id >= ? GROUP BY val"
+	// The shape under test: a VecExchange above the param-bearing subtree.
+	explain, err := s.MustSQL("SELECT val, COUNT(*) AS c FROM t WHERE id >= 0 GROUP BY val").Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "VecExchange") {
+		t.Fatalf("expected a VecExchange in the aggregate plan:\n%s", explain)
+	}
+	stmt, err := s.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []int64{0, 3_999, 1_234} {
+		got, err := stmt.Collect(context.Background(), bound)
+		if err != nil {
+			t.Fatalf("bound=%d: %v", bound, err)
+		}
+		want, err := s.MustSQL(fmt.Sprintf(
+			"SELECT val, COUNT(*) AS c FROM t WHERE id >= %d GROUP BY val", bound)).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(canonicalRows(got)) != fmt.Sprint(canonicalRows(want)) {
+			t.Fatalf("bound=%d: prepared %v vs ad-hoc %v", bound, got, want)
+		}
+	}
+}
+
+// canonicalRows renders rows order-independently (group output order is
+// partition-dependent).
+func canonicalRows(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TestPreparedPlanCacheReuse: preparing the same normalized SQL twice hits

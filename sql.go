@@ -21,7 +21,11 @@ import (
 // optimizer rules as the DataFrame API: equality predicates and equi-joins
 // on indexed columns execute as index lookups and indexed joins, and
 // aggregations matching a registered materialized view are answered from
-// the view's delta-maintained state.
+// the view's delta-maintained state. ORDER BY ... LIMIT n is recognized
+// as a Top-N plan: the optimizer fuses the pair into a TopN node and the
+// vectorized engine runs bounded per-partition heaps plus an n-row merge
+// instead of a full global sort; a plain ORDER BY runs as the batch sort
+// (per-partition sorted runs, k-way merge).
 //
 // DDL: CREATE MATERIALIZED VIEW name AS SELECT ... registers an
 // incrementally maintained view; DROP MATERIALIZED VIEW name and REFRESH

@@ -127,6 +127,68 @@ func TestVectorizedPlanShapes(t *testing.T) {
 		t.Errorf("scan under row Project should still vectorize:\n%s", plan)
 	}
 
+	// physicalOf isolates the physical section: the logical sections
+	// legitimately show Sort/Limit/TopN nodes.
+	physicalOf := func(plan string) string {
+		_, phys, ok := strings.Cut(plan, "== Physical Plan ==")
+		if !ok {
+			t.Fatalf("EXPLAIN output missing physical plan:\n%s", plan)
+		}
+		return phys
+	}
+
+	// ORDER BY lowers to the batch sort; ORDER BY ... LIMIT fuses into the
+	// bounded top-n — the full Sort (and its trailing Limit) must be gone.
+	orderBy := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		return s.SQL("SELECT grp, val FROM facts ORDER BY val DESC, grp")
+	}
+	phys := physicalOf(explain(sess, orderBy))
+	if !strings.Contains(phys, "VecSort [") {
+		t.Errorf("ORDER BY plan missing VecSort:\n%s", phys)
+	}
+	if strings.Contains(phys, "\nSort") || strings.Contains(phys, " Sort [") {
+		t.Errorf("ORDER BY plan kept the row sort:\n%s", phys)
+	}
+	topN := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		return s.SQL("SELECT grp, val FROM facts ORDER BY val LIMIT 100")
+	}
+	plan = explain(sess, topN)
+	if !strings.Contains(plan, "TopN 100 [facts.val ASC]") {
+		t.Errorf("optimized logical plan missing the fused TopN:\n%s", plan)
+	}
+	phys = physicalOf(plan)
+	if !strings.Contains(phys, "VecTopN 100 [") {
+		t.Errorf("ORDER BY ... LIMIT plan missing VecTopN:\n%s", phys)
+	}
+	if strings.Contains(phys, "Sort [") || strings.Contains(phys, "Limit 100") {
+		t.Errorf("top-n fusion left a Sort/Limit behind:\n%s", phys)
+	}
+
+	// A non-vectorizable sort key (scalar function) keeps the row sort;
+	// the scan beneath still vectorizes.
+	exprSort := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		return s.SQL("SELECT tag FROM facts ORDER BY UPPER(tag)")
+	}
+	phys = physicalOf(explain(sess, exprSort))
+	if strings.Contains(phys, "VecSort") || strings.Contains(phys, "VecTopN") {
+		t.Errorf("UPPER sort key must not vectorize the sort:\n%s", phys)
+	}
+	if !strings.Contains(phys, "Sort [") || !strings.Contains(phys, "VecColumnarScan") {
+		t.Errorf("want row Sort over a vectorized scan:\n%s", phys)
+	}
+
+	// A point-lookup-rooted ORDER BY stays row-bound end to end.
+	lookupSort := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
+		return s.SQL("SELECT id, val FROM facts WHERE grp = 3 ORDER BY val LIMIT 10")
+	}
+	plan = explain(ixSess, lookupSort)
+	if !strings.Contains(plan, "IndexLookup") {
+		t.Errorf("expected an IndexLookup under the sort:\n%s", plan)
+	}
+	if strings.Contains(plan, "Vec") {
+		t.Errorf("point-lookup-rooted sort must stay row-at-a-time:\n%s", plan)
+	}
+
 	// Outer joins stay on the row operators.
 	outer := func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
 		f, err := s.Table("facts")
@@ -168,10 +230,20 @@ func TestVectorizedPlanShapes(t *testing.T) {
 		t.Errorf("point-lookup-rooted plan must stay row-at-a-time:\n%s", plan)
 	}
 
-	// DisableVectorized turns the rewrite off entirely.
+	// DisableVectorized turns the rewrite off entirely — including the
+	// sort/top-n lowering (the logical TopN still lowers to Sort + Limit).
 	rowSess := buildSession(t, indexeddf.Config{DisableVectorized: true}, false)
 	plan = explain(rowSess, filterAgg)
 	if strings.Contains(plan, "Vec") {
 		t.Errorf("DisableVectorized plan contains vectorized operators:\n%s", plan)
+	}
+	plan = explain(rowSess, topN)
+	if strings.Contains(plan, "Vec") {
+		t.Errorf("DisableVectorized top-n plan contains vectorized operators:\n%s", plan)
+	}
+	for _, want := range []string{"Limit 100", "Sort ["} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("DisableVectorized top-n plan missing %s:\n%s", want, plan)
+		}
 	}
 }
