@@ -8,6 +8,7 @@
 //	benchrunner -fig prepare  prepared statements — plan cache vs parse-per-call
 //	benchrunner -fig shuffle  batch (columnar) exchange vs row exchange, 1M-row GROUP BY
 //	benchrunner -fig sort     batch sort & fused top-n vs row sort, 1M-row ORDER BY
+//	benchrunner -fig memacct  memory-accounting overhead — budgets on vs off
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -59,6 +60,7 @@ type report struct {
 	Memory    *bench.MemoryReport  `json:"memory,omitempty"`
 	Shuffle   *bench.ShuffleReport `json:"shuffle,omitempty"`
 	Sort      *bench.SortReport    `json:"sort,omitempty"`
+	MemAcct   *bench.MemAcctReport `json:"memacct,omitempty"`
 }
 
 type measurementJSON struct {
@@ -190,6 +192,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+	case "memacct":
+		r, err := memAccounting(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "memacct"
+			rep.MemAcct = &r
+			if err := writeJSON(jsonPath, rep); err != nil {
+				return err
+			}
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -250,12 +265,24 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+		ma, err := memAccounting(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "memacct"
+			rep.MemAcct = &ma
+			if err := writeJSON(jsonName(jsonPath, "memacct", true), rep); err != nil {
+				return err
+			}
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort, memacct or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -305,6 +332,22 @@ func sortOrderBy(iters int) (bench.SortReport, error) {
 	w.Flush()
 	fmt.Printf("batch sort: %.2fx faster; top-n: %.2fx faster than the row sort (%d rows)\n",
 		r.SortSpeedup(), r.TopNSpeedup(), r.Rows)
+	fmt.Println(strings.Repeat("-", 56))
+	return r, nil
+}
+
+func memAccounting(iters int) (bench.MemAcctReport, error) {
+	fmt.Printf("\n== Memory accounting overhead: budgets on vs off, 1M-row GROUP BY + top-n pipeline ==\n")
+	r, err := bench.MemAcctPipeline(1_000_000, 100_000, iters)
+	if err != nil {
+		return bench.MemAcctReport{}, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "budgets\twall [ms]\talloc [MB]\t")
+	fmt.Fprintf(w, "on (pool + per-query tracker)\t%.2f\t%.1f\t\n", msf(r.AcctTime), float64(r.AcctAllocs)/(1<<20))
+	fmt.Fprintf(w, "off\t%.2f\t%.1f\t\n", msf(r.BareTime), float64(r.BareAllocs)/(1<<20))
+	w.Flush()
+	fmt.Printf("accounting overhead: %.2fx wall (%d result rows)\n", r.Overhead(), r.ResultRows)
 	fmt.Println(strings.Repeat("-", 56))
 	return r, nil
 }

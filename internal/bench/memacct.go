@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"indexeddf"
+)
+
+// MemAcctReport quantifies what hierarchical memory accounting costs on a
+// shuffle-heavy aggregate+sort pipeline: identical query, identical data,
+// one session with budgets enabled (generous limits, so nothing trips and
+// every operator pays the full Reserve/Release path) and one without (no
+// limits configured — queries never get a tracker, the zero-overhead
+// path). The gate keeps the accounted run within the regression thresholds
+// of the bare one.
+type MemAcctReport struct {
+	Rows       int           `json:"rows"`
+	Groups     int           `json:"groups"`
+	AcctTime   time.Duration `json:"acct_ns"`
+	BareTime   time.Duration `json:"bare_ns"`
+	AcctAllocs int64         `json:"acct_alloc_bytes"`
+	BareAllocs int64         `json:"bare_alloc_bytes"`
+	ResultRows int           `json:"result_rows"`
+}
+
+// Overhead returns acct/bare wall time (1.0 = accounting is free).
+func (r MemAcctReport) Overhead() float64 {
+	if r.BareTime <= 0 {
+		return 0
+	}
+	return float64(r.AcctTime) / float64(r.BareTime)
+}
+
+// MemAcctPipeline measures `SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k
+// ORDER BY total DESC LIMIT 100` — scan, hash aggregate, columnar
+// exchange, top-n: every operator that charges the tracker — over rows
+// rows and groups distinct keys, with and without memory budgets.
+func MemAcctPipeline(rows, groups, iters int) (MemAcctReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	mk := func(accounted bool) (*indexeddf.Session, error) {
+		cfg := indexeddf.Config{}
+		if accounted {
+			// Generous budgets: the point is the accounting cost, not the
+			// limit — nothing here may trip.
+			cfg.MemoryLimit = 4 << 30
+			cfg.QueryMemoryLimit = 2 << 30
+		}
+		sess := indexeddf.NewSession(cfg)
+		schema := indexeddf.NewSchema(
+			indexeddf.Field{Name: "k", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "v", Type: indexeddf.Int64},
+		)
+		data := make([]indexeddf.Row, rows)
+		for i := range data {
+			data[i] = indexeddf.R(int64(i%groups), int64(i))
+		}
+		df, err := sess.CreateTable("t", schema, data)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+	const query = "SELECT k, COUNT(*) AS cnt, SUM(v) AS total FROM t GROUP BY k ORDER BY total DESC, k LIMIT 100"
+	run := func(sess *indexeddf.Session) (int, error) {
+		df, err := sess.SQL(query)
+		if err != nil {
+			return 0, err
+		}
+		out, err := df.Collect()
+		if err != nil {
+			return 0, err
+		}
+		return len(out), nil
+	}
+	measure := func(sess *indexeddf.Session) (time.Duration, int64, int, error) {
+		n, err := run(sess)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := run(sess); err != nil {
+				return 0, 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		allocs := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		return median(times), allocs, n, nil
+	}
+
+	acctSess, err := mk(true)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	bareSess, err := mk(false)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	an, err := run(acctSess)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	bn, err := run(bareSess)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	if an != bn {
+		return MemAcctReport{}, fmt.Errorf("bench: accounted and bare runs disagree (%d vs %d rows)", an, bn)
+	}
+	acctTime, acctAllocs, n, err := measure(acctSess)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	bareTime, bareAllocs, _, err := measure(bareSess)
+	if err != nil {
+		return MemAcctReport{}, err
+	}
+	return MemAcctReport{
+		Rows:       rows,
+		Groups:     groups,
+		AcctTime:   acctTime,
+		BareTime:   bareTime,
+		AcctAllocs: acctAllocs,
+		BareAllocs: bareAllocs,
+		ResultRows: n,
+	}, nil
+}

@@ -1,0 +1,87 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsFree(t *testing.T) {
+	defer Reset()
+	for _, p := range Points() {
+		if err := Hit(p); err != nil {
+			t.Fatalf("unarmed %s returned %v", p, err)
+		}
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm(TaskStart, Schedule{Err: boom, Skip: 2, Limit: 1})
+	for i := 0; i < 2; i++ {
+		if err := Hit(TaskStart); err != nil {
+			t.Fatalf("hit %d should be skipped, got %v", i, err)
+		}
+	}
+	if err := Hit(TaskStart); err != boom {
+		t.Fatalf("hit 3 = %v, want boom", err)
+	}
+	// Limit exhausted: later hits pass.
+	if err := Hit(TaskStart); err != nil {
+		t.Fatalf("hit 4 = %v, want nil", err)
+	}
+	if got := Hits(TaskStart); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+}
+
+func TestPanicSchedule(t *testing.T) {
+	defer Reset()
+	Arm(ShuffleWrite, Schedule{Panic: "injected-panic"})
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok {
+			t.Fatalf("recovered %T, want *Injected", r)
+		}
+		if inj.Point != ShuffleWrite || inj.Val != "injected-panic" {
+			t.Fatalf("unexpected payload %+v", inj)
+		}
+	}()
+	_ = Hit(ShuffleWrite)
+	t.Fatal("Hit should have panicked")
+}
+
+func TestDelaySchedule(t *testing.T) {
+	defer Reset()
+	Arm(ViewRefresh, Schedule{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(ViewRefresh); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay schedule returned after %v", d)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm(IngestAppend, Schedule{Err: boom})
+	Arm(BatchSeal, Schedule{Err: boom})
+	Disarm(IngestAppend)
+	if err := Hit(IngestAppend); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := Hit(BatchSeal); err != boom {
+		t.Fatalf("armed point did not fire: %v", err)
+	}
+	Reset()
+	if err := Hit(BatchSeal); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+	if armedCount.Load() != 0 {
+		t.Fatalf("armedCount = %d after Reset", armedCount.Load())
+	}
+}

@@ -57,11 +57,11 @@ func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		// the leading columns of the accumulator schema and the aggregate
 		// state columns follow positionally.
 		intKey := len(h.Groups) == 1 && inSchema.Fields[0].Type.IntLane()
-		return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
-			return h.mergeFinal(in, intKey)
+		return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+			return h.mergeFinal(tc, in, intKey)
 		}), nil
 	}
-	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
+	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		groups := make([]*expr.VecExpr, len(h.Groups))
 		for i, g := range h.Groups {
 			ve, ok := expr.CompileVec(g)
@@ -81,12 +81,19 @@ func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			}
 			args[i] = ve
 		}
-		return h.aggregate(in, groups, args)
+		return h.aggregate(tc, in, groups, args)
 	}), nil
 }
 
+// groupBytes estimates one group's resident size — group struct, key row,
+// accumulator slab share and hash-table entry — for memory accounting.
+// String key payloads are charged separately as groups are created.
+func groupBytes(nKeys, nAggs int) int64 {
+	return 120 + int64(nKeys)*24 + int64(nAggs)*72
+}
+
 // aggregate consumes the whole input and renders the result batches.
-func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*expr.VecExpr) (vector.BatchIter, error) {
+func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, groupExprs, argExprs []*expr.VecExpr) (vector.BatchIter, error) {
 	table := map[string]*aggGroup{}
 	var order []*aggGroup
 	ga := groupAlloc{nAggs: len(h.Aggs)}
@@ -99,7 +106,13 @@ func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*
 	intKey := len(groupExprs) == 1 && groupExprs[0].Type().IntLane()
 	intTable := map[int64]*aggGroup{}
 	var nullGroup *aggGroup
+	mem := tc.Mem()
+	perGroup := groupBytes(len(h.Groups), len(h.Aggs))
+	var charged int
 	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
 		b, err := in.Next()
 		if err != nil {
 			return nil, err
@@ -164,6 +177,14 @@ func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*
 				updateAcc(&g.accs[ai], a, avecs[ai].Get(i))
 			}
 		}
+		// Charge the group table's growth after each batch: a runaway
+		// cardinality GROUP BY fails fast instead of OOMing the process.
+		if nw := len(order); nw > charged {
+			if err := mem.Reserve("VecHashAgg", int64(nw-charged)*perGroup); err != nil {
+				return nil, err
+			}
+			charged = nw
+		}
 	}
 	return h.render(order)
 }
@@ -173,7 +194,7 @@ func (h *VecHashAggExec) aggregate(in vector.BatchIter, groupExprs, argExprs []*
 // every row is folded column-wise into the group table. Only the group
 // probe touches per-row values; numeric accumulator columns are read
 // straight from their typed lanes.
-func (h *VecHashAggExec) mergeFinal(in vector.BatchIter, intKey bool) (vector.BatchIter, error) {
+func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, intKey bool) (vector.BatchIter, error) {
 	table := map[string]*aggGroup{}
 	intTable := map[int64]*aggGroup{}
 	var nullGroup *aggGroup
@@ -181,7 +202,13 @@ func (h *VecHashAggExec) mergeFinal(in vector.BatchIter, intKey bool) (vector.Ba
 	ga := groupAlloc{nAggs: len(h.Aggs)}
 	var keyBuf []byte
 	ng := len(h.Groups)
+	mem := tc.Mem()
+	perGroup := groupBytes(ng, len(h.Aggs))
+	var charged int
 	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
 		b, err := in.Next()
 		if err != nil {
 			return nil, err
@@ -226,6 +253,12 @@ func (h *VecHashAggExec) mergeFinal(in vector.BatchIter, intKey bool) (vector.Ba
 				}
 			}
 			mergeAccCols(h.Aggs, ng, g, b, i)
+		}
+		if nw := len(order); nw > charged {
+			if err := mem.Reserve("VecHashAgg", int64(nw-charged)*perGroup); err != nil {
+				return nil, err
+			}
+			charged = nw
 		}
 	}
 	return h.render(order)

@@ -70,8 +70,8 @@ func (s *VecSortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if child.NumPartitions() <= 1 {
 		return runs, nil
 	}
-	return ec.RDD.NewBatchMergeRDD(runs, schema, func(_ *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
-		return newRunMerge(schema, orders, ins, -1)
+	return ec.RDD.NewBatchMergeRDD(runs, schema, func(tc *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
+		return newRunMerge(tc, schema, orders, ins, -1)
 	}), nil
 }
 
@@ -117,8 +117,10 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 	if err != nil {
 		return nil, err
 	}
+	mem := tc.Mem()
 	lanes := vector.NewKeyLanes(keyTypes)
 	buf := vector.NewBatchBuilder(schema, vector.DefaultBatchSize)
+	var laneCharged int64
 	for {
 		if err := tc.Err(); err != nil {
 			return nil, err
@@ -136,9 +138,26 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		}
 		lanes.AppendCols(keys)
 		buf.Append(b)
+		// Charge the run buffer as it grows: the buffered copy of the
+		// producer-reused batch plus the key-lane delta.
+		if err := mem.Reserve("VecSort", b.MemBytes()); err != nil {
+			return nil, err
+		}
+		if cur := lanes.MemBytes(); cur > laneCharged {
+			if err := mem.Reserve("VecSort", cur-laneCharged); err != nil {
+				return nil, err
+			}
+			laneCharged = cur
+		}
 	}
 	sealed := buf.Seal()
-	idx := vector.SortIndices(lanes, desc)
+	if err := mem.Reserve("VecSort", int64(lanes.Len())*8); err != nil {
+		return nil, err
+	}
+	idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
+	if err != nil {
+		return nil, err
+	}
 	return &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)}, nil
 }
 
@@ -172,9 +191,10 @@ func (it *sortedRunIter) Next() (*vector.Batch, error) {
 
 // newRunMerge builds the k-way merge of sorted runs, compiling a fresh
 // key-extraction kernel per run (kernels own scratch vectors; one per run
-// keeps each run's current keys stable while others advance).
-func newRunMerge(schema *sqltypes.Schema, orders []SortOrder, ins []vector.BatchIter,
-	limit int64) (vector.BatchIter, error) {
+// keeps each run's current keys stable while others advance). The merge
+// polls tc for cancellation between segments.
+func newRunMerge(tc *rdd.TaskContext, schema *sqltypes.Schema, orders []SortOrder,
+	ins []vector.BatchIter, limit int64) (vector.BatchIter, error) {
 	_, _, desc, err := sortKeys(orders)
 	if err != nil {
 		return nil, err
@@ -189,7 +209,9 @@ func newRunMerge(schema *sqltypes.Schema, orders []SortOrder, ins []vector.Batch
 			return evalKeys(keyExprs, b)
 		}
 	}
-	return vector.NewMergeSorted(schema, ins, extracts, desc, limit), nil
+	m := vector.NewMergeSorted(schema, ins, extracts, desc, limit)
+	m.SetInterrupt(tc.Err)
+	return m, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -237,8 +259,8 @@ func (t *VecTopNExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if child.NumPartitions() <= 1 {
 		return runs, nil // the collector already emits at most n sorted rows
 	}
-	return ec.RDD.NewBatchMergeRDD(runs, schema, func(_ *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
-		return newRunMerge(schema, orders, ins, n)
+	return ec.RDD.NewBatchMergeRDD(runs, schema, func(tc *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
+		return newRunMerge(tc, schema, orders, ins, n)
 	}), nil
 }
 
@@ -250,7 +272,9 @@ func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 	if err != nil {
 		return nil, err
 	}
+	mem := tc.Mem()
 	top := vector.NewTopN(schema, keyTypes, desc, int(n))
+	var charged int64
 	for {
 		if err := tc.Err(); err != nil {
 			return nil, err
@@ -267,6 +291,14 @@ func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 			return nil, err
 		}
 		top.Push(b, keys)
+		// The heap store is bounded but not small (compaction allows ~4n
+		// candidates plus string payloads); charge its high-water mark.
+		if cur := top.MemBytes(); cur > charged {
+			if err := mem.Reserve("VecTopN", cur-charged); err != nil {
+				return nil, err
+			}
+			charged = cur
+		}
 	}
 	return vector.NewSliceIter(top.Emit()), nil
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"indexeddf/internal/faultpoint"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/storage"
 	"indexeddf/internal/vector"
@@ -70,6 +72,11 @@ func (c *Context) TasksStarted() int64 { return c.tasksStarted.Load() }
 // TasksCompleted returns the number of partition tasks finished so far.
 func (c *Context) TasksCompleted() int64 { return c.tasksCompleted.Load() }
 
+// ShuffleOutstanding reports how many shuffles still retain map outputs —
+// the leak invariant: it returns to zero once every cursor over shuffle
+// stages is closed (cleanly, truncated by LIMIT, or cancelled).
+func (c *Context) ShuffleOutstanding() int { return c.shuffles.Outstanding() }
+
 func (c *Context) nextRDDID() int     { return int(c.rddID.Add(1)) }
 func (c *Context) nextShuffleID() int { return int(c.shuffleID.Add(1)) }
 
@@ -79,9 +86,15 @@ func (c *Context) blockID(owner, partition int) storage.BlockID {
 
 // parallelFor runs f(0..n-1) on the task pool and returns the first error.
 // A cancelled ctx stops handing out new indices and surfaces ctx.Err().
+// Worker panics are contained: a panicking f fails the loop with a
+// *TaskPanicError instead of killing the process.
 func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) error {
 	if n == 0 {
 		return nil
+	}
+	run := func(i int) (err error) {
+		defer containPanic(&err)
+		return f(i)
 	}
 	width := c.parallelism
 	if width > n {
@@ -92,7 +105,7 @@ func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := f(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -124,7 +137,7 @@ func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) e
 				if i >= n {
 					return
 				}
-				if err := f(i); err != nil {
+				if err := run(i); err != nil {
 					fail(err)
 					return
 				}
@@ -136,42 +149,76 @@ func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) e
 }
 
 // computePartition runs one partition task to completion: Compute, then a
-// cancellation-aware drain. Task metrics are updated around it.
-func (c *Context) computePartition(ctx context.Context, r RDD, p int) ([]sqltypes.Row, error) {
+// cancellation-aware drain charging the materialized rows to the query's
+// memory tracker. Task metrics are updated around it; a panic anywhere in
+// the operator chain is contained into the returned error. The second
+// result is the drained rows' accounted byte size (0 without a tracker).
+func (c *Context) computePartition(ctx context.Context, r RDD, p int) (rows []sqltypes.Row, bytes int64, err error) {
 	c.tasksStarted.Add(1)
+	defer containPanic(&err)
+	if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
+		return nil, 0, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+	}
 	tc := &TaskContext{Ctx: c, Partition: p, ctx: ctx}
 	it, err := r.Compute(tc, p)
 	if err != nil {
-		return nil, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+		return nil, 0, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
 	}
-	rows, err := drainCtx(ctx, it)
+	rows, bytes, err = drainCtx(ctx, it)
 	if err != nil {
-		return nil, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
+		return nil, bytes, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
 	}
 	c.tasksCompleted.Add(1)
-	return rows, nil
+	return rows, bytes, nil
 }
 
 // drainCtx materializes an iterator, checking for cancellation between
-// blocks of rows so runaway tasks stop promptly.
-func drainCtx(ctx context.Context, it sqltypes.RowIter) ([]sqltypes.Row, error) {
+// blocks of rows so runaway tasks stop promptly, and charging the
+// buffered rows to the query's memory tracker block by block — an
+// over-budget gather fails mid-drain, not after it OOMs.
+func drainCtx(ctx context.Context, it sqltypes.RowIter) ([]sqltypes.Row, int64, error) {
 	const checkEvery = 1024
+	mem := memory.FromContext(ctx)
 	var out []sqltypes.Row
+	var bytes, charged int64
 	for {
 		if len(out)%checkEvery == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, charged, err
+			}
+			if bytes > charged {
+				if err := mem.Reserve("result buffer", bytes-charged); err != nil {
+					return nil, charged, err
+				}
+				charged = bytes
 			}
 		}
 		row, err := it.Next()
 		if err != nil {
-			return nil, err
+			return nil, charged, err
 		}
 		if row == nil {
-			return out, nil
+			if bytes > charged {
+				if err := mem.Reserve("result buffer", bytes-charged); err != nil {
+					return nil, charged, err
+				}
+				charged = bytes
+			}
+			return out, charged, nil
 		}
 		out = append(out, row)
+		bytes += RowBytes(row)
 	}
+}
+
+// RowBytes estimates one row's resident size for accounting: value
+// headers plus string payloads (the same model the block manager uses).
+func RowBytes(row sqltypes.Row) int64 {
+	size := int64(len(row)) * 24
+	for _, v := range row {
+		size += int64(len(v.S))
+	}
+	return size
 }
 
 // RunJob schedules the RDD — materializing every shuffle stage it depends
@@ -193,7 +240,7 @@ func (c *Context) RunJobCtx(ctx context.Context, r RDD) ([][]sqltypes.Row, error
 	}
 	out := make([][]sqltypes.Row, r.NumPartitions())
 	err := c.parallelFor(ctx, r.NumPartitions(), func(p int) error {
-		rows, err := c.computePartition(ctx, r, p)
+		rows, _, err := c.computePartition(ctx, r, p)
 		if err != nil {
 			return err
 		}
@@ -286,6 +333,9 @@ func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) e
 		nReduce := dep.numReduce()
 		return c.parallelFor(ctx, parent.NumPartitions(), func(mapPart int) error {
 			c.tasksStarted.Add(1)
+			if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
+				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			}
 			tc := &TaskContext{Ctx: c, Partition: mapPart, ctx: ctx}
 			it, err := parent.Compute(tc, mapPart)
 			if err != nil {
@@ -299,6 +349,7 @@ func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) e
 				return nil
 			}
 			buckets := make([][]sqltypes.Row, nReduce)
+			var bytes int64
 			for n := 0; ; n++ {
 				if n%1024 == 0 {
 					if err := ctx.Err(); err != nil {
@@ -314,7 +365,16 @@ func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) e
 				}
 				b := dep.Partitioner.PartitionFor(row)
 				buckets[b] = append(buckets[b], row)
+				bytes += RowBytes(row)
 			}
+			if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
+				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			}
+			mem := memory.FromContext(ctx)
+			if err := mem.Reserve("shuffle write", bytes); err != nil {
+				return err
+			}
+			c.shuffles.charge(dep.ShuffleID, mem, bytes)
 			c.shuffles.WriteRows(dep.ShuffleID, mapPart, buckets)
 			c.tasksCompleted.Add(1)
 			return nil
@@ -343,7 +403,25 @@ func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapP
 		}
 		sc.Add(b)
 	}
-	c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sc.Seal())
+	if err := faultpoint.Hit(faultpoint.BatchSeal); err != nil {
+		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	}
+	sealed := sc.Seal()
+	var bytes int64
+	for _, bucket := range sealed {
+		for _, b := range bucket {
+			bytes += b.MemBytes()
+		}
+	}
+	if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
+		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	}
+	mem := memory.FromContext(ctx)
+	if err := mem.Reserve("shuffle write", bytes); err != nil {
+		return err
+	}
+	c.shuffles.charge(dep.ShuffleID, mem, bytes)
+	c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sealed)
 	return nil
 }
 
@@ -365,6 +443,8 @@ type shuffleOutput struct {
 	mu      sync.RWMutex
 	rows    map[int][][]sqltypes.Row  // mapPart -> reducer -> rows
 	batches map[int][][]*vector.Batch // mapPart -> reducer -> sealed batches
+	mem     *memory.Tracker           // tracker the retained buckets are charged to
+	charged int64                     // bytes charged to mem, released by Drop
 }
 
 type shuffleStage struct {
@@ -403,6 +483,29 @@ func (m *ShuffleManager) output(shuffleID int) *shuffleOutput {
 		m.shuffles[shuffleID] = out
 	}
 	return out
+}
+
+// charge records that bytes of retained shuffle output were reserved on
+// mem, so Drop can return them. One shuffle belongs to one query, so all
+// of its map tasks carry the same tracker.
+func (m *ShuffleManager) charge(shuffleID int, mem *memory.Tracker, bytes int64) {
+	if mem == nil || bytes == 0 {
+		return
+	}
+	out := m.output(shuffleID)
+	out.mu.Lock()
+	out.mem = mem
+	out.charged += bytes
+	out.mu.Unlock()
+}
+
+// Outstanding returns the number of shuffles whose map outputs are still
+// retained. This is the leak invariant tests assert on: once every cursor
+// is closed — including truncated and cancelled ones — it must be zero.
+func (m *ShuffleManager) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shuffles)
 }
 
 // lookup returns the shuffle's output store without creating it.
@@ -471,6 +574,9 @@ func (o *shuffleOutput) batchBucket(mapPart, p int) ([]*vector.Batch, bool) {
 // buckets. Map outputs must be complete (the scheduler runs the map stage
 // to completion before reduce tasks start).
 func (m *ShuffleManager) OpenRowReader(shuffleID, p int, tc *TaskContext) (sqltypes.RowIter, error) {
+	if err := faultpoint.Hit(faultpoint.ShuffleFetch); err != nil {
+		return nil, fmt.Errorf("rdd: shuffle %d reduce %d: %w", shuffleID, p, err)
+	}
 	out, ok := m.lookup(shuffleID)
 	if !ok {
 		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
@@ -481,6 +587,9 @@ func (m *ShuffleManager) OpenRowReader(shuffleID, p int, tc *TaskContext) (sqlty
 // OpenBatchReader is OpenRowReader for a columnar shuffle: the reduce side
 // streams each map task's sealed batches in map order.
 func (m *ShuffleManager) OpenBatchReader(shuffleID, p int, tc *TaskContext) (vector.BatchIter, error) {
+	if err := faultpoint.Hit(faultpoint.ShuffleFetch); err != nil {
+		return nil, fmt.Errorf("rdd: shuffle %d reduce %d: %w", shuffleID, p, err)
+	}
 	out, ok := m.lookup(shuffleID)
 	if !ok {
 		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
@@ -494,6 +603,9 @@ func (m *ShuffleManager) OpenBatchReader(shuffleID, p int, tc *TaskContext) (vec
 // the sorted-run merge needs each map task's (sorted) output as its own
 // stream. nRuns is the shuffle's map-side partition count.
 func (m *ShuffleManager) OpenBatchRunReaders(shuffleID, nRuns, p int, tc *TaskContext) ([]vector.BatchIter, error) {
+	if err := faultpoint.Hit(faultpoint.ShuffleFetch); err != nil {
+		return nil, fmt.Errorf("rdd: shuffle %d reduce %d: %w", shuffleID, p, err)
+	}
 	out, ok := m.lookup(shuffleID)
 	if !ok {
 		return nil, fmt.Errorf("rdd: shuffle %d has no map outputs (stage not run)", shuffleID)
@@ -621,10 +733,21 @@ func (r *shuffleBatchReader) Next() (*vector.Batch, error) {
 	}
 }
 
-// Drop releases a shuffle's outputs (between benchmark iterations).
+// Drop releases a shuffle's outputs and returns their bytes to the memory
+// tracker they were charged to (a no-op on an already-closed tracker, so a
+// late Drop from an unwinding job cannot corrupt accounting).
 func (m *ShuffleManager) Drop(shuffleID int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	out := m.shuffles[shuffleID]
 	delete(m.shuffles, shuffleID)
 	delete(m.stages, shuffleID)
+	m.mu.Unlock()
+	if out == nil {
+		return
+	}
+	out.mu.Lock()
+	mem, charged := out.mem, out.charged
+	out.mem, out.charged = nil, 0
+	out.mu.Unlock()
+	mem.Release(charged)
 }

@@ -1,0 +1,42 @@
+package rdd
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// TaskPanicError is a panic recovered inside a partition task, shuffle map
+// task, streaming merge or ingest drain: the panicking goroutine's stack
+// is captured and the panic surfaces as an ordinary query-level error —
+// the query fails cleanly, its shuffle outputs and cursor tickets are
+// released, and the process plus every other in-flight query keep running.
+type TaskPanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+// Error implements error, including the captured stack so the panic site
+// is diagnosable from the query error alone.
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("rdd: task panicked: %v\n%s", e.Val, e.Stack)
+}
+
+// AsTaskPanic wraps a recovered panic value as a *TaskPanicError,
+// capturing the current stack. An already-wrapped panic (a contained
+// panic re-raised across a goroutine seam) passes through unchanged.
+func AsTaskPanic(r any) error {
+	if tp, ok := r.(*TaskPanicError); ok {
+		return tp
+	}
+	return &TaskPanicError{Val: r, Stack: debug.Stack()}
+}
+
+// containPanic is the deferred guard every task-running seam installs:
+// a panic below it becomes the function's returned error.
+func containPanic(errp *error) {
+	if r := recover(); r != nil {
+		*errp = AsTaskPanic(r)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"indexeddf/internal/memory"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
 )
@@ -144,6 +145,17 @@ func (tc *TaskContext) Cancellation() context.Context {
 		return context.Background()
 	}
 	return tc.ctx
+}
+
+// Mem returns the query's memory tracker (nil — and therefore a no-op
+// tracker — when the job runs without budgets). Operators that buffer
+// unbounded state (hash tables, sort runs, top-n stores) reserve against
+// it and fail fast with a memory.LimitError instead of OOMing the process.
+func (tc *TaskContext) Mem() *memory.Tracker {
+	if tc == nil || tc.ctx == nil {
+		return nil
+	}
+	return memory.FromContext(tc.ctx)
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/testutil"
 	"indexeddf/internal/vector"
 )
 
@@ -20,6 +21,7 @@ func kvSchema() *sqltypes.Schema {
 // rows the row exchange delivers, co-partitioned identically (same hash),
 // including NULL keys.
 func TestBatchShuffleRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	c := NewContext(WithParallelism(4))
 	rows := make([]sqltypes.Row, 10_000)
 	for i := range rows {

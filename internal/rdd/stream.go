@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"indexeddf/internal/faultpoint"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/sqltypes"
 )
 
@@ -35,6 +37,7 @@ type RowStream struct {
 	// Consumer-side cursor state (single-goroutine).
 	nextPart int
 	cur      []sqltypes.Row
+	curBytes int64 // accounted size of cur, released when the slot is consumed
 	pos      int
 	finished bool
 	released bool
@@ -52,8 +55,9 @@ type RowStream struct {
 }
 
 type partResult struct {
-	rows []sqltypes.Row
-	err  error
+	rows  []sqltypes.Row
+	bytes int64
+	err   error
 }
 
 // StreamJob starts the RDD as a streaming job under ctx and returns the
@@ -139,14 +143,18 @@ func (s *RowStream) run(width int) {
 				if p >= len(s.slots) {
 					return
 				}
-				rows, err := s.c.computePartition(s.ctx, s.r, p)
+				rows, bytes, err := s.c.computePartition(s.ctx, s.r, p)
 				if err != nil {
+					memory.FromContext(s.ctx).Release(bytes)
 					s.fail(err)
 					return
 				}
 				select {
-				case s.slots[p] <- partResult{rows: rows}:
+				case s.slots[p] <- partResult{rows: rows, bytes: bytes}:
 				case <-s.ctx.Done():
+					// The slot buffer is abandoned; return its charge now
+					// rather than waiting for tracker close.
+					memory.FromContext(s.ctx).Release(bytes)
 					return
 				}
 			}
@@ -177,7 +185,10 @@ func (s *RowStream) Next() (sqltypes.Row, error) {
 		select {
 		case res := <-s.slots[s.nextPart]:
 			s.nextPart++
-			s.cur, s.pos = res.rows, 0
+			// The previous slot's rows are consumed: return their memory
+			// charge before taking ownership of the next buffer.
+			memory.FromContext(s.ctx).Release(s.curBytes)
+			s.cur, s.curBytes, s.pos = res.rows, res.bytes, 0
 			// Hand the consumed slot's ticket back so a worker can start
 			// the next partition.
 			select {
@@ -199,7 +210,17 @@ func (s *RowStream) Next() (sqltypes.Row, error) {
 // and abandoning the stream early skips the rest of the final stage
 // entirely. The task counters mark the final task started at compute and
 // completed only on exhaustion; a truncated stream leaves it incomplete.
-func (s *RowStream) lazyNext() (sqltypes.Row, error) {
+func (s *RowStream) lazyNext() (row sqltypes.Row, err error) {
+	// The final stage runs on the consumer's goroutine, so a panic in the
+	// operator chain would otherwise unwind into caller code: contain it
+	// here like any other task and pin it as the stream's terminal error.
+	defer func() {
+		if r := recover(); r != nil {
+			perr := AsTaskPanic(r)
+			s.finishWithErr(perr)
+			row, err = nil, perr
+		}
+	}()
 	if s.finished {
 		return nil, s.takeFinishedErr()
 	}
@@ -209,6 +230,11 @@ func (s *RowStream) lazyNext() (sqltypes.Row, error) {
 			return nil, err
 		}
 		s.c.tasksStarted.Add(1)
+		if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
+			err = fmt.Errorf("rdd: partition 0 of rdd %d: %w", s.r.ID(), err)
+			s.finishWithErr(err)
+			return nil, err
+		}
 		tc := &TaskContext{Ctx: s.c, Partition: 0, ctx: s.ctx}
 		it, err := s.r.Compute(tc, 0)
 		if err != nil {
@@ -225,7 +251,7 @@ func (s *RowStream) lazyNext() (sqltypes.Row, error) {
 			return nil, err
 		}
 	}
-	row, err := s.lazyIter.Next()
+	row, err = s.lazyIter.Next()
 	if err != nil {
 		s.finishWithErr(err)
 		return nil, err
@@ -277,7 +303,8 @@ func (s *RowStream) release() {
 		return
 	}
 	s.released = true
-	s.cur = nil
+	memory.FromContext(s.ctx).Release(s.curBytes)
+	s.cur, s.curBytes = nil, 0
 	s.lazyIter = nil
 	s.c.releaseShuffles(s.r, map[int]bool{})
 }

@@ -101,6 +101,28 @@ func (t *Topic) Poll(group string, max int) []Message {
 	return out
 }
 
+// Offsets returns a copy of the group's current per-partition offsets
+// (zeroes for a group that never polled).
+func (t *Topic) Offsets(group string) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.parts))
+	copy(out, t.groups[group])
+	return out
+}
+
+// SeekOffsets restores a group's offsets to a snapshot taken with Offsets.
+// Ingestion uses it to rewind a polled batch whose apply failed before any
+// row landed, so the batch is redelivered on the next drain instead of
+// silently lost.
+func (t *Topic) SeekOffsets(group string, offsets []int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	saved := make([]int64, len(t.parts))
+	copy(saved, offsets)
+	t.groups[group] = saved
+}
+
 // Lag returns how many messages the group has not yet consumed.
 func (t *Topic) Lag(group string) int64 {
 	t.mu.Lock()

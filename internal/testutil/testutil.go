@@ -1,0 +1,36 @@
+// Package testutil holds helpers shared by the engine's test suites.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines registers a cleanup that fails the test when it ends with
+// more live goroutines than it started with — the cursor, shuffle and
+// ingest suites use it to pin the invariant that closing a stream (cleanly,
+// truncated, cancelled, or killed by an injected fault) reaps its worker
+// goroutines. Teardown is asynchronous (workers notice cancellation at
+// their next channel operation), so the check polls briefly before
+// declaring a leak, and dumps every goroutine stack when it does.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d at test start, %d at end\n%s", base, n, buf.String())
+	})
+}

@@ -48,6 +48,15 @@ func (b *Batch) Len() int { return b.n }
 // (kernel-style batch construction).
 func (b *Batch) SetLen(n int) { b.n = n }
 
+// MemBytes estimates the batch's resident size for memory accounting.
+func (b *Batch) MemBytes() int64 {
+	var n int64
+	for _, c := range b.Cols {
+		n += c.MemoryUsage()
+	}
+	return n
+}
+
 // Reset empties the batch for reuse, keeping column capacity.
 func (b *Batch) Reset() {
 	for i, c := range b.Cols {

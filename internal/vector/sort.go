@@ -343,6 +343,83 @@ func SortIndices(k *KeyLanes, desc []bool) []int {
 	return idx
 }
 
+// MemBytes estimates the lanes' resident size (live and spare buffers)
+// for memory accounting.
+func (k *KeyLanes) MemBytes() int64 {
+	var n int64
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		n += int64(cap(l.i64)+cap(l.spareI64)) * 8
+		n += int64(cap(l.f64)+cap(l.spareF64)) * 8
+		n += int64(cap(l.null) + cap(l.spareNull))
+		for _, s := range l.str {
+			n += int64(len(s)) + 16
+		}
+		n += int64(cap(l.spareStr)) * 16
+	}
+	return n
+}
+
+// sortInterrupt is the sentinel SortIndicesInterruptible throws to unwind
+// out of sort.Slice when the interrupt callback reports an error; any
+// other panic passes through.
+type sortInterrupt struct{ err error }
+
+// SortIndicesInterruptible is SortIndices with a cancellation hook: the
+// interrupt callback is polled every few thousand comparisons and its
+// error aborts the sort — a Ctrl-C lands mid-partition instead of after
+// the full O(n log n) pass. A nil interrupt degrades to SortIndices.
+func SortIndicesInterruptible(k *KeyLanes, desc []bool, interrupt func() error) (idx []int, err error) {
+	if interrupt == nil {
+		return SortIndices(k, desc), nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			si, ok := r.(*sortInterrupt)
+			if !ok {
+				panic(r)
+			}
+			idx, err = nil, si.err
+		}
+	}()
+	var count uint
+	check := func() {
+		if count++; count&8191 == 0 {
+			if e := interrupt(); e != nil {
+				panic(&sortInterrupt{err: e})
+			}
+		}
+	}
+	idx = make([]int, k.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	cmps := k.Comparators(desc)
+	if len(cmps) == 1 {
+		cmp := cmps[0]
+		sort.Slice(idx, func(x, y int) bool {
+			check()
+			a, b := idx[x], idx[y]
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+			return a < b
+		})
+		return idx, nil
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		check()
+		a, b := idx[x], idx[y]
+		for _, cmp := range cmps {
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	})
+	return idx, nil
+}
+
 // CompareKeyVecs orders row ai of evaluated key vectors a against row bi
 // of key vectors b (same lane types), with per-lane desc flips — the
 // cross-run comparator of the merge and the candidate test of TopN.
@@ -514,13 +591,27 @@ func (r *sortedRun) advance() (bool, error) {
 // leading run stays ahead of the runner-up and gathers that whole segment
 // column-wise, so range-partitioned inputs merge at near-copy speed.
 type MergeSorted struct {
-	desc  []bool
-	runs  []*sortedRun // min-heap on current row key (index 0 = smallest)
-	out   *Batch
-	sel   []int
-	limit int64
-	init  bool
-	done  bool
+	desc      []bool
+	runs      []*sortedRun // min-heap on current row key (index 0 = smallest)
+	out       *Batch
+	sel       []int
+	limit     int64
+	init      bool
+	done      bool
+	interrupt func() error // polled per produced batch and merge segment
+}
+
+// SetInterrupt installs a cancellation hook polled at every produced batch
+// and between gallop segments, so cancelling a query interrupts a long
+// k-way merge mid-stream.
+func (m *MergeSorted) SetInterrupt(f func() error) { m.interrupt = f }
+
+// checkInterrupt polls the installed hook.
+func (m *MergeSorted) checkInterrupt() error {
+	if m.interrupt == nil {
+		return nil
+	}
+	return m.interrupt()
 }
 
 // NewMergeSorted builds a merge of ins (each already sorted by the same
@@ -629,6 +720,9 @@ func (m *MergeSorted) Next() (*Batch, error) {
 	if m.done {
 		return nil, nil
 	}
+	if err := m.checkInterrupt(); err != nil {
+		return nil, err
+	}
 	if !m.init {
 		if err := m.start(); err != nil {
 			return nil, err
@@ -650,6 +744,9 @@ func (m *MergeSorted) Next() (*Batch, error) {
 		room = int(m.limit)
 	}
 	for room > 0 && len(m.runs) > 1 {
+		if err := m.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		root := m.runs[0]
 		take := m.gallop(root, m.runnerUp())
 		if take > room {
@@ -696,6 +793,9 @@ func (m *MergeSorted) Next() (*Batch, error) {
 func (m *MergeSorted) forwardSingle() (*Batch, error) {
 	r := m.runs[0]
 	for {
+		if err := m.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		if r.b == nil {
 			ok, err := r.advance()
 			if err != nil {
@@ -876,6 +976,13 @@ func (t *TopN) compact() {
 	for i := range t.heap {
 		t.heap[i] = i
 	}
+}
+
+// MemBytes estimates the collector's resident size — candidate store,
+// spare, key lanes and bookkeeping — for memory accounting.
+func (t *TopN) MemBytes() int64 {
+	return t.store.MemBytes() + t.spare.MemBytes() + t.keys.MemBytes() +
+		int64(cap(t.seq))*8 + int64(cap(t.heap))*8
 }
 
 // Emit returns the kept rows as a sorted run (ascending under the keys,

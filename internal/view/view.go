@@ -23,6 +23,7 @@ import (
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/faultpoint"
 	"indexeddf/internal/sqltypes"
 )
 
@@ -39,6 +40,13 @@ type View struct {
 	cursors []int64  // per-partition change-log sequence folded up to
 	version int64    // base-table version the state reflects
 	stats   Stats
+	// needRecompute forces the next refresh to rebuild from a snapshot: a
+	// refresh that failed after it started mutating accumulator state left
+	// the state partially folded with unadvanced cursors, and retrying the
+	// delta would double-fold it. The failed refresh surfaces its error to
+	// the caller; the view stays consistently answerable because the next
+	// access recomputes before serving.
+	needRecompute bool
 }
 
 // Stats counts maintenance work (observability and tests).
@@ -153,14 +161,20 @@ func (v *View) Stats() Stats {
 // Refresh implements catalog.MaterializedView: fold the delta since the
 // last refresh, or fully recompute on a change-log gap.
 func (v *View) Refresh() error {
-	v.mu.Lock()
-	err := v.refreshLocked()
-	v.mu.Unlock()
-	if err != nil {
+	if err := v.refresh(); err != nil {
 		return err
 	}
 	v.prune()
 	return nil
+}
+
+// refresh runs refreshLocked under the state lock. The unlock is deferred
+// so a panicking refresh (a fold bug, an injected fault) cannot strand the
+// lock and deadlock every later query over the view.
+func (v *View) refresh() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.refreshLocked()
 }
 
 // Recompute implements catalog.MaterializedView: rebuild from a fresh
@@ -172,8 +186,19 @@ func (v *View) Recompute() error {
 }
 
 func (v *View) refreshLocked() error {
+	// A panic anywhere in the refresh may have left accumulator state
+	// half-mutated: flag the recompute fallback before rethrowing.
+	defer func() {
+		if r := recover(); r != nil {
+			v.needRecompute = true
+			panic(r)
+		}
+	}()
 	base := v.def.Base
 	snap := base.Snapshot()
+	if v.needRecompute {
+		return v.recomputeLocked(snap)
+	}
 	n := base.NumPartitions()
 	if len(v.cursors) != n {
 		return v.recomputeLocked(snap)
@@ -199,16 +224,25 @@ func (v *View) refreshLocked() error {
 		return nil
 	}
 
+	// Past this point the fold mutates accumulator state: any failure —
+	// injected or genuine — must force a full recompute on the next
+	// refresh, or retrying would double-fold the delta.
+	if err := faultpoint.Hit(faultpoint.ViewRefresh); err != nil {
+		v.needRecompute = true
+		return fmt.Errorf("view %q refresh: %w", v.def.Name, err)
+	}
 	dirty := map[string]bool{}
 	for p := 0; p < n; p++ {
 		for _, ch := range perPart[p] {
 			if err := v.foldLocked(ch, dirty); err != nil {
+				v.needRecompute = true
 				return err
 			}
 		}
 	}
 	if len(dirty) > 0 {
 		if err := v.recomputeGroupsLocked(snap, dirty); err != nil {
+			v.needRecompute = true
 			return err
 		}
 	}
@@ -390,6 +424,9 @@ func (v *View) recomputeGroupsLocked(snap *core.Snapshot, dirty map[string]bool)
 // recomputeLocked rebuilds the whole state from snap and re-anchors the
 // cursors at snap's change marks.
 func (v *View) recomputeLocked(snap *core.Snapshot) error {
+	// Pessimistically sticky: cleared only when the rebuild completes, so a
+	// recompute that itself fails mid-scan forces another one.
+	v.needRecompute = true
 	v.state = map[string]*group{}
 	v.order = v.order[:0]
 	err := v.scanFold(snap, func(key string, keys sqltypes.Row, row sqltypes.Row) (bool, error) {
@@ -417,6 +454,7 @@ func (v *View) recomputeLocked(snap *core.Snapshot) error {
 	v.version = snap.Version()
 	v.stats.FullRecomputes++
 	v.stats.Refreshes++
+	v.needRecompute = false
 	return nil
 }
 
@@ -530,18 +568,21 @@ func (v *View) prune() {
 // RefreshRows implements catalog.MaterializedView: refresh, then
 // materialize the state rows (internal layout: groups then aggregates).
 func (v *View) RefreshRows() ([]sqltypes.Row, error) {
-	v.mu.Lock()
-	err := v.refreshLocked()
-	var rows []sqltypes.Row
-	if err == nil {
-		rows = v.rowsLocked()
-	}
-	v.mu.Unlock()
+	rows, err := v.refreshRows()
 	if err != nil {
 		return nil, err
 	}
 	v.prune()
 	return rows, nil
+}
+
+func (v *View) refreshRows() ([]sqltypes.Row, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return v.rowsLocked(), nil
 }
 
 // Rows materializes the current state without refreshing.

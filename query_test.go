@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"indexeddf/internal/testutil"
 )
 
 // bigSchema is a two-column schema for streaming tests.
@@ -163,6 +165,7 @@ func TestLimitStreamingEarlyTerminatesSorted(t *testing.T) {
 // TestCursorCloseCancelsRemainingTasks: closing the cursor after a few
 // rows stops the remaining partition tasks (task counter).
 func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const nRows, nParts = 400_000, 64
 	s, df := newStreamSession(t, nRows, nParts, 2)
 
@@ -189,6 +192,7 @@ func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
 // TestQueryContextCancelMidStream: cancelling the caller's context
 // surfaces context.Canceled from Rows.Err and stops the job.
 func TestQueryContextCancelMidStream(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const nRows, nParts = 400_000, 64
 	s, df := newStreamSession(t, nRows, nParts, 2)
 
@@ -582,6 +586,7 @@ func TestPreparedPlanCacheReuse(t *testing.T) {
 // TestConcurrentCursors runs many cursors over one session at once —
 // meaningful under -race.
 func TestConcurrentCursors(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const n = 50_000
 	s, df := newStreamSession(t, n, 16, 4)
 	stmt, err := s.Prepare("SELECT id, val FROM big WHERE val = ?")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"indexeddf/internal/memory"
 	"indexeddf/internal/physical"
 	"indexeddf/internal/plan"
 	"indexeddf/internal/rdd"
@@ -33,6 +34,7 @@ type Rows struct {
 	schema *sqltypes.Schema
 	stream *rdd.RowStream
 	cancel context.CancelFunc // releases a session-timeout context, if any
+	mem    *memory.Tracker    // the query's budget; closed on shutdown
 	row    sqltypes.Row
 	err    error
 	closed bool
@@ -122,6 +124,9 @@ func (r *Rows) shutdown() {
 	r.closed = true
 	r.row = nil
 	r.stream.Close()
+	// Close after the stream: stopped tasks release their charges first,
+	// then the tracker returns the query's whole grant to the engine pool.
+	r.mem.Close()
 	if r.cancel != nil {
 		r.cancel()
 	}
@@ -233,6 +238,28 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		}
 	}
+	// Memory budget: refuse admission while the engine pool is saturated,
+	// then give the query its own tracker — every operator that buffers
+	// state reserves against it and the whole grant returns on shutdown.
+	var tracker *memory.Tracker
+	if s.mem.Limit() > 0 || s.cfg.QueryMemoryLimit > 0 {
+		query := s.mem.NextQueryID()
+		if err := s.mem.Admit(query); err != nil {
+			if cancel != nil {
+				cancel()
+			}
+			return nil, err
+		}
+		tracker = s.mem.NewTracker(query, s.cfg.QueryMemoryLimit)
+		ctx = memory.WithTracker(ctx, tracker)
+	}
+	fail := func(err error) (*Rows, error) {
+		tracker.Close()
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
 	ec := physical.NewExecContextCtx(ctx, s.ctx)
 	var (
 		r     rdd.RDD
@@ -249,12 +276,9 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 		r, err = exec.Execute(ec)
 	}
 	if err != nil {
-		if cancel != nil {
-			cancel()
-		}
-		return nil, err
+		return fail(err)
 	}
-	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel, remaining: limit}, nil
+	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel, mem: tracker, remaining: limit}, nil
 }
 
 // queryNode compiles a logical plan and starts it as a cursor.

@@ -20,6 +20,7 @@ import (
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/opt"
 	"indexeddf/internal/physical"
 	"indexeddf/internal/plan"
@@ -60,6 +61,17 @@ type Config struct {
 	// PlanCacheSize bounds the session's LRU cache of compiled prepared
 	// statements, keyed on normalized SQL (default 128 entries).
 	PlanCacheSize int
+	// MemoryLimit bounds the engine-wide bytes queries may hold in
+	// materialized state (shuffle buckets, hash-aggregate tables, sort
+	// runs, top-n stores, cursor slot buffers). Zero means unbounded. A
+	// query pushing the engine past the limit fails with
+	// memory.ErrMemoryExceeded naming the operator; concurrent queries
+	// under budget keep running. New queries are also refused admission
+	// while the pool is saturated.
+	MemoryLimit int64
+	// QueryMemoryLimit bounds each individual query's share of the above
+	// (zero = only the engine limit applies).
+	QueryMemoryLimit int64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +96,7 @@ type Session struct {
 
 	views *catalog.ViewRegistry
 	plans *planCache
+	mem   *memory.Pool
 
 	// ddl serializes multi-step catalog operations (dropping a table and
 	// its dependent views, creating a view over a base table) so a view
@@ -104,8 +117,10 @@ func NewSession(cfg Config) *Session {
 		ctxOpts = append(ctxOpts, rdd.WithParallelism(cfg.Parallelism))
 	}
 	views := catalog.NewViewRegistry()
+	pool := memory.NewPool(cfg.MemoryLimit)
 	return &Session{
 		cfg: cfg,
+		mem: pool,
 		ctx: rdd.NewContext(ctxOpts...),
 		planner: opt.NewPlanner(opt.PlannerConfig{
 			ShufflePartitions:  cfg.ShufflePartitions,
@@ -115,13 +130,17 @@ func NewSession(cfg Config) *Session {
 			DisableViewRewrite: cfg.DisableViewRewrite,
 		}),
 		views:  views,
-		plans:  newPlanCache(cfg.PlanCacheSize),
+		plans:  newPlanCache(cfg.PlanCacheSize, pool),
 		tables: make(map[string]catalog.Table),
 	}
 }
 
 // Context exposes the underlying RDD context (benchmarks use it).
 func (s *Session) Context() *rdd.Context { return s.ctx }
+
+// MemoryPool exposes the session's engine-level memory pool (tests and
+// monitoring use it; Used() drains back to zero when no query is running).
+func (s *Session) MemoryPool() *memory.Pool { return s.mem }
 
 // CreateTable registers an in-memory table from rows (hash-free round-robin
 // partitioning, like a parallelized collection) and returns a DataFrame

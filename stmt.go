@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"indexeddf/internal/memory"
 	"indexeddf/internal/physical"
 	"indexeddf/internal/sqlparser"
 	"indexeddf/internal/sqltypes"
@@ -203,20 +204,28 @@ type planCache struct {
 	gen     int64      // bumped by purge
 	order   *list.List // front = most recently used; values are *planCacheItem
 	entries map[string]*list.Element
+	// pool charges cached plans to the engine's memory budget (a flat
+	// per-entry estimate); when the pool is saturated new plans are simply
+	// not cached — the statement still runs, it just recompiles next time.
+	pool *memory.Pool
 
 	hits, misses int64
 }
+
+// planEntryBytes is the flat accounting estimate for one cached compiled
+// plan (operator tree, schemas, referenced-table metadata).
+const planEntryBytes = 32 << 10
 
 type planCacheItem struct {
 	key string
 	ent *planEntry
 }
 
-func newPlanCache(capacity int) *planCache {
+func newPlanCache(capacity int, pool *memory.Pool) *planCache {
 	if capacity <= 0 {
 		capacity = 128
 	}
-	return &planCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+	return &planCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element), pool: pool}
 }
 
 // getGen looks the key up, also returning the cache generation observed so
@@ -247,11 +256,15 @@ func (c *planCache) putAt(key string, ent *planEntry, gen int64) {
 		c.order.MoveToFront(el)
 		return
 	}
+	if c.pool.ReserveBytes("session", "plan cache", planEntryBytes) != nil {
+		return // pool saturated: run uncached rather than fail the query
+	}
 	c.entries[key] = c.order.PushFront(&planCacheItem{key: key, ent: ent})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*planCacheItem).key)
+		c.pool.ReleaseBytes(planEntryBytes)
 	}
 }
 
@@ -279,6 +292,7 @@ func (c *planCache) purgeTables(names ...string) {
 			if hit[t] {
 				c.order.Remove(el)
 				delete(c.entries, item.key)
+				c.pool.ReleaseBytes(planEntryBytes)
 				break
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"indexeddf/internal/stream"
+	"indexeddf/internal/testutil"
 )
 
 func salesSchema() *Schema {
@@ -300,6 +301,7 @@ func freshAggregate(t *testing.T, s *Session) []Row {
 }
 
 func TestStreamIngestKeepsViewFresh(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s, _ := newViewSession(t, 20, Config{})
 	v, err := s.CreateMaterializedView("v", salesAggSQL)
 	if err != nil {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"indexeddf/internal/catalog"
+	"indexeddf/internal/faultpoint"
 	"indexeddf/internal/opt"
 	"indexeddf/internal/plan"
+	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqlparser"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/stream"
@@ -160,6 +162,7 @@ func (s *Session) IngestTopic(topic *stream.Topic, group, tableName string, batc
 	}
 	var applied int64
 	for {
+		mark := topic.Offsets(group)
 		msgs := topic.Poll(group, batchSize)
 		if len(msgs) == 0 {
 			return applied, nil
@@ -168,19 +171,44 @@ func (s *Session) IngestTopic(topic *stream.Topic, group, tableName string, batc
 		for i, m := range msgs {
 			rows[i] = m.Row
 		}
-		switch tt := t.(type) {
-		case *catalog.IndexedTable:
-			if err := tt.Core().Append(rows); err != nil {
-				return applied, err
+		n, err := s.ingestBatch(t, tableName, rows)
+		applied += n
+		if err != nil {
+			if n == 0 {
+				// The batch failed before any row landed: rewind the group
+				// so a later drain redelivers it instead of losing it. A
+				// batch whose append stuck (n > 0, the refresh failed) is
+				// not rewound — redelivering would apply it twice.
+				topic.SeekOffsets(group, mark)
 			}
-		case *catalog.ColumnTable:
-			tt.Append(rows)
-		default:
-			return applied, fmt.Errorf("indexeddf: table %q (%T) cannot ingest streams", tableName, t)
-		}
-		applied += int64(len(rows))
-		if err := s.refreshViewsOf(t); err != nil {
 			return applied, err
 		}
 	}
+}
+
+// ingestBatch applies one polled batch and refreshes the table's views,
+// containing panics from either step so a corrupt message or a faulty
+// refresh surfaces as an error on this call while the session — and the
+// table's already-applied rows — stay serviceable. Returns the rows
+// actually appended (the refresh may fail after the append stuck).
+func (s *Session) ingestBatch(t catalog.Table, tableName string, rows []sqltypes.Row) (applied int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = rdd.AsTaskPanic(r)
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.IngestAppend); err != nil {
+		return 0, err
+	}
+	switch tt := t.(type) {
+	case *catalog.IndexedTable:
+		if err := tt.Core().Append(rows); err != nil {
+			return 0, err
+		}
+	case *catalog.ColumnTable:
+		tt.Append(rows)
+	default:
+		return 0, fmt.Errorf("indexeddf: table %q (%T) cannot ingest streams", tableName, t)
+	}
+	return int64(len(rows)), s.refreshViewsOf(t)
 }
