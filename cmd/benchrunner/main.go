@@ -9,6 +9,7 @@
 //	benchrunner -fig shuffle  batch (columnar) exchange vs row exchange, 1M-row GROUP BY
 //	benchrunner -fig sort     batch sort & fused top-n vs row sort, 1M-row ORDER BY
 //	benchrunner -fig memacct  memory-accounting overhead — budgets on vs off
+//	benchrunner -fig obs      observability overhead — stats on vs off
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -61,6 +62,7 @@ type report struct {
 	Shuffle   *bench.ShuffleReport `json:"shuffle,omitempty"`
 	Sort      *bench.SortReport    `json:"sort,omitempty"`
 	MemAcct   *bench.MemAcctReport `json:"memacct,omitempty"`
+	Obs       *bench.ObsReport     `json:"obs,omitempty"`
 }
 
 type measurementJSON struct {
@@ -205,6 +207,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+	case "obs":
+		r, err := obsOverhead(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "obs"
+			rep.Obs = &r
+			if err := writeJSON(jsonPath, rep); err != nil {
+				return err
+			}
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -277,12 +292,24 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+		ob, err := obsOverhead(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "obs"
+			rep.Obs = &ob
+			if err := writeJSON(jsonName(jsonPath, "obs", true), rep); err != nil {
+				return err
+			}
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort, memacct or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort, memacct, obs or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -348,6 +375,22 @@ func memAccounting(iters int) (bench.MemAcctReport, error) {
 	fmt.Fprintf(w, "off\t%.2f\t%.1f\t\n", msf(r.BareTime), float64(r.BareAllocs)/(1<<20))
 	w.Flush()
 	fmt.Printf("accounting overhead: %.2fx wall (%d result rows)\n", r.Overhead(), r.ResultRows)
+	fmt.Println(strings.Repeat("-", 56))
+	return r, nil
+}
+
+func obsOverhead(iters int) (bench.ObsReport, error) {
+	fmt.Printf("\n== Observability overhead: per-operator stats on vs off, 1M-row GROUP BY + top-n pipeline ==\n")
+	r, err := bench.ObsPipeline(1_000_000, 100_000, iters)
+	if err != nil {
+		return bench.ObsReport{}, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "observability\twall [ms]\talloc [MB]\t")
+	fmt.Fprintf(w, "on (operator stats + tracing)\t%.2f\t%.1f\t\n", msf(r.ObsTime), float64(r.ObsAllocs)/(1<<20))
+	fmt.Fprintf(w, "off\t%.2f\t%.1f\t\n", msf(r.BareTime), float64(r.BareAllocs)/(1<<20))
+	w.Flush()
+	fmt.Printf("observability overhead: %.2fx wall (%d result rows)\n", r.Overhead(), r.ResultRows)
 	fmt.Println(strings.Repeat("-", 56))
 	return r, nil
 }

@@ -9,7 +9,10 @@
 // complete, and Ctrl-C cancels the in-flight query (stopping its remaining
 // tasks) instead of killing the shell.
 //
-// Meta commands: \d (tables), \explain <query>, \q (quit).
+// Meta commands: \d (tables), \explain <query>, \timing (per-query stats
+// toggle), \metrics (engine metrics dump), \q (quit). EXPLAIN ANALYZE
+// <query> runs the statement and prints the plan annotated with actuals;
+// queries slower than -slow get an inline warning.
 package main
 
 import (
@@ -35,9 +38,17 @@ func main() {
 	indexed := flag.Bool("indexed", true, "also build indexed copies")
 	timeout := flag.Duration("timeout", 0, "session-wide query timeout (0 = none)")
 	maxRows := flag.Int("maxrows", 1000, "rows to display per query (0 = unlimited); counting continues past the cap")
+	slow := flag.Duration("slow", 500*time.Millisecond, "slow-query warning threshold (0 = off)")
 	flag.Parse()
 
-	sess := indexeddf.NewSession(indexeddf.Config{QueryTimeout: *timeout})
+	sess := indexeddf.NewSession(indexeddf.Config{
+		QueryTimeout:       *timeout,
+		SlowQueryThreshold: *slow,
+		SlowQueryLog: func(q indexeddf.SlowQuery) {
+			fmt.Printf("!! slow query [%s]: %d rows in %v (threshold %v)\n",
+				q.ID, q.Rows, q.Duration.Round(time.Millisecond), *slow)
+		},
+	})
 	d := snb.Generate(snb.Config{ScaleFactor: *sf, Seed: *seed})
 	if _, err := snb.Load(sess, d, *indexed); err != nil {
 		log.Fatal(err)
@@ -46,7 +57,7 @@ func main() {
 	if *indexed {
 		fmt.Printf(" + indexed copies")
 	}
-	fmt.Println("\ntype SQL, \\d for tables, \\explain <q> for plans, \\q to quit (Ctrl-C cancels a running query)")
+	fmt.Println("\ntype SQL, \\d for tables, \\explain <q> / EXPLAIN ANALYZE <q> for plans, \\timing for per-query stats, \\metrics for engine metrics, \\q to quit (Ctrl-C cancels a running query)")
 
 	// Ctrl-C cancels the in-flight query's context instead of killing the
 	// shell; at the prompt it just prints a hint.
@@ -55,6 +66,7 @@ func main() {
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
+	timing := false
 	for {
 		fmt.Print("sql> ")
 		if !in.Scan() {
@@ -74,6 +86,13 @@ func main() {
 					fmt.Printf("  %-24s %8d rows  %s\n", n, t.RowCount(), t.Schema())
 				}
 			}
+		case line == `\timing`:
+			timing = !timing
+			fmt.Printf("timing %s\n", map[bool]string{true: "on", false: "off"}[timing])
+		case line == `\metrics`:
+			if _, err := sess.Metrics().WriteTo(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		case strings.HasPrefix(line, `\explain `):
 			df, err := sess.SQL(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -87,14 +106,14 @@ func main() {
 			}
 			fmt.Print(out)
 		default:
-			runQuery(sess, sigc, line, *maxRows)
+			runQuery(sess, sigc, line, *maxRows, timing)
 		}
 	}
 }
 
 // runQuery streams one statement's results (display capped at maxRows,
 // counting continues), cancelling on SIGINT.
-func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxRows int) {
+func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxRows int, timing bool) {
 	// Drop any interrupt that arrived while idle at the prompt.
 	select {
 	case <-sigc:
@@ -120,6 +139,17 @@ func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxR
 	defer rows.Close()
 
 	names := rows.Schema().ShortNames()
+	// EXPLAIN [ANALYZE] results are a one-column frame of plan lines —
+	// render them verbatim instead of as a piped table.
+	if len(names) == 1 && names[0] == "plan" {
+		for rows.Next() {
+			fmt.Println(rows.Row()[0].String())
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Println("error:", err)
+		}
+		return
+	}
 	fmt.Println("| " + strings.Join(names, " | ") + " |")
 	var n int64
 	for rows.Next() {
@@ -147,5 +177,14 @@ func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxR
 		fmt.Println("error:", err)
 	default:
 		fmt.Printf("(%d rows, %.2f ms)\n", n, elapsed)
+	}
+	if timing {
+		rows.Close() // settle totals before reading them
+		if qs := rows.Stats(); qs != nil {
+			fmt.Printf("timing: parse %v, plan %v (cache hit: %v), total %v; tasks %d, shuffle %s, mem peak %s\n",
+				time.Duration(qs.ParseNs), time.Duration(qs.PlanNs), qs.CacheHit,
+				time.Duration(qs.TotalNs()), qs.TasksCompleted(),
+				indexeddf.FormatBytes(qs.ShuffleBytes()), indexeddf.FormatBytes(qs.MemPeak()))
+		}
 	}
 }

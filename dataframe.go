@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
@@ -369,6 +370,34 @@ func (df *DataFrame) Explain() (string, error) {
 		}
 	}
 	return sb.String(), nil
+}
+
+// ExplainAnalyze compiles the plan, executes it to completion under ctx,
+// and returns the physical plan annotated with the actuals recorded during
+// that execution — rows, batches, predicate selectivity, wall time and
+// memory per operator, plus a query-level summary (tasks, shuffle bytes,
+// peak memory). It works even when the session was built with
+// Config.DisableObservability: EXPLAIN ANALYZE is explicit opt-in
+// instrumentation. The result rows are drained and discarded.
+func (df *DataFrame) ExplainAnalyze(ctx context.Context) (string, error) {
+	t0 := time.Now()
+	exec, err := df.sess.compile(df.node)
+	if err != nil {
+		return "", err
+	}
+	rows, err := df.sess.queryExecMeta(ctx, exec, queryMeta{
+		planNs: time.Since(t0).Nanoseconds(), force: true})
+	if err != nil {
+		return "", err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		return "", err
+	}
+	rows.Close() // settle totals before rendering
+	return rows.AnalyzeString(), nil
 }
 
 // IndexedCore returns the underlying indexed storage when the DataFrame is

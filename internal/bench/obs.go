@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"indexeddf"
+)
+
+// ObsReport quantifies what per-operator observability costs on a
+// shuffle-heavy aggregate+sort pipeline: identical query, identical data,
+// one session with instrumentation enabled (the default — every operator
+// records rows, batches, sampled wall time, and each query carries a stats
+// object and trace events) and one with Config.DisableObservability (the
+// zero-overhead path: nil collectors, wrappers return their input
+// unchanged). The gate keeps the instrumented run within the regression
+// thresholds of the bare one.
+type ObsReport struct {
+	Rows       int           `json:"rows"`
+	Groups     int           `json:"groups"`
+	ObsTime    time.Duration `json:"obs_ns"`
+	BareTime   time.Duration `json:"bare_ns"`
+	ObsAllocs  int64         `json:"obs_alloc_bytes"`
+	BareAllocs int64         `json:"bare_alloc_bytes"`
+	ResultRows int           `json:"result_rows"`
+}
+
+// Overhead returns obs/bare wall time (1.0 = instrumentation is free).
+func (r ObsReport) Overhead() float64 {
+	if r.BareTime <= 0 {
+		return 0
+	}
+	return float64(r.ObsTime) / float64(r.BareTime)
+}
+
+// ObsPipeline measures `SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k
+// ORDER BY total DESC LIMIT 100` — scan, hash aggregate, columnar
+// exchange, top-n: a long operator chain where every stage records stats —
+// over rows rows and groups distinct keys, with and without observability.
+func ObsPipeline(rows, groups, iters int) (ObsReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	mk := func(disabled bool) (*indexeddf.Session, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{DisableObservability: disabled})
+		schema := indexeddf.NewSchema(
+			indexeddf.Field{Name: "k", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "v", Type: indexeddf.Int64},
+		)
+		data := make([]indexeddf.Row, rows)
+		for i := range data {
+			data[i] = indexeddf.R(int64(i%groups), int64(i))
+		}
+		df, err := sess.CreateTable("t", schema, data)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+	const query = "SELECT k, COUNT(*) AS cnt, SUM(v) AS total FROM t GROUP BY k ORDER BY total DESC, k LIMIT 100"
+	run := func(sess *indexeddf.Session) (int, error) {
+		df, err := sess.SQL(query)
+		if err != nil {
+			return 0, err
+		}
+		out, err := df.Collect()
+		if err != nil {
+			return 0, err
+		}
+		return len(out), nil
+	}
+	measure := func(sess *indexeddf.Session) (time.Duration, int64, int, error) {
+		n, err := run(sess)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := run(sess); err != nil {
+				return 0, 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		allocs := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		return median(times), allocs, n, nil
+	}
+
+	obsSess, err := mk(false)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	bareSess, err := mk(true)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	on, err := run(obsSess)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	bn, err := run(bareSess)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	if on != bn {
+		return ObsReport{}, fmt.Errorf("bench: instrumented and bare runs disagree (%d vs %d rows)", on, bn)
+	}
+	obsTime, obsAllocs, n, err := measure(obsSess)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	bareTime, bareAllocs, _, err := measure(bareSess)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	return ObsReport{
+		Rows:       rows,
+		Groups:     groups,
+		ObsTime:    obsTime,
+		BareTime:   bareTime,
+		ObsAllocs:  obsAllocs,
+		BareAllocs: bareAllocs,
+		ResultRows: n,
+	}, nil
+}

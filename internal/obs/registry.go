@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution (query latencies). Observations
+// happen at query granularity, so a mutex is cheap enough and keeps the
+// bucket scan plus sum update atomic as a unit.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	buckets []int64   // len(bounds)+1; last is +Inf
+	sum     float64
+	count   int64
+}
+
+// DefBuckets is a latency ladder from 100µs to ~100s in roughly 3x steps.
+var DefBuckets = []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// metric is one registered entry; exactly one of counter, gauge or hist is
+// set, and kind names the Prometheus type emitted.
+type metric struct {
+	name, help, kind string
+	counter          *Counter
+	gauge            func() float64
+	hist             *Histogram
+}
+
+// Registry holds the engine's metrics and renders them in Prometheus text
+// exposition format. Registration happens once at session construction;
+// reads are lock-free for counters and call-through for gauge functions.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[m.name]; ok {
+		r.metrics[i] = m
+		return
+	}
+	r.byName[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(metric{name: name, help: help, kind: "counter", counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn — for
+// monotonic totals owned elsewhere (scheduler task counts, shuffle bytes).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: "counter", gauge: fn})
+}
+
+// Gauge registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: "gauge", gauge: fn})
+}
+
+// Histogram registers and returns a histogram with the given upper bounds
+// (nil uses DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
+	r.add(metric{name: name, help: help, kind: "histogram", hist: h})
+	return h
+}
+
+// Value returns the current value of a counter or gauge by name (0, false
+// when absent or a histogram).
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	i, ok := r.byName[name]
+	var m metric
+	if ok {
+		m = r.metrics[i]
+	}
+	r.mu.Unlock()
+	switch {
+	case !ok:
+		return 0, false
+	case m.counter != nil:
+		return float64(m.counter.Value()), true
+	case m.gauge != nil:
+		return m.gauge(), true
+	default:
+		return 0, false
+	}
+}
+
+// WriteTo renders every metric in Prometheus text exposition format,
+// sorted by name. Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, m := range ms {
+		if err := emit("# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return total, err
+		}
+		switch {
+		case m.counter != nil:
+			if err := emit("%s %d\n", m.name, m.counter.Value()); err != nil {
+				return total, err
+			}
+		case m.gauge != nil:
+			if err := emit("%s %s\n", m.name, formatFloat(m.gauge())); err != nil {
+				return total, err
+			}
+		case m.hist != nil:
+			m.hist.mu.Lock()
+			var cum int64
+			for i, bound := range m.hist.bounds {
+				cum += m.hist.buckets[i]
+				if err := emit("%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum); err != nil {
+					m.hist.mu.Unlock()
+					return total, err
+				}
+			}
+			cum += m.hist.buckets[len(m.hist.bounds)]
+			err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, cum, m.name, formatFloat(m.hist.sum), m.name, m.hist.count)
+			m.hist.mu.Unlock()
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

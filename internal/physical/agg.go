@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -283,7 +284,9 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := ec.Stats(h)
 	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		in = obs.CountInto(st, in)
 		groups := map[string]*aggGroup{}
 		var order []*aggGroup // deterministic output order (first seen)
 		ga := groupAlloc{nAggs: len(h.Aggs)}
@@ -332,7 +335,7 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		// Complete modes only, and only on the single output partition).
 		if len(groups) == 0 && len(h.Groups) == 0 && h.Mode != AggPartial {
 			g := &aggGroup{accs: make([]acc, len(h.Aggs))}
-			return sqltypes.NewSliceIter([]sqltypes.Row{h.emitFinal(g)}), nil
+			return obs.Rows(st, sqltypes.NewSliceIter([]sqltypes.Row{h.emitFinal(g)})), nil
 		}
 		out := make([]sqltypes.Row, 0, len(groups))
 		for _, g := range order {
@@ -342,6 +345,6 @@ func (h *HashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 				out = append(out, h.emitFinal(g))
 			}
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	}), nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -37,8 +38,9 @@ func (f *FilterExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	cond := f.Cond
+	st := ec.Stats(f)
 	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
-		return &filterIter{in: in, cond: cond}, nil
+		return obs.Rows(st, &filterIter{in: obs.CountInto(st, in), cond: cond}), nil
 	}), nil
 }
 
@@ -99,8 +101,9 @@ func (p *ProjectExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	exprs := p.Exprs
+	st := ec.Stats(p)
 	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
-		return &projectIter{in: in, exprs: exprs}, nil
+		return obs.Rows(st, &projectIter{in: in, exprs: exprs}), nil
 	}), nil
 }
 
@@ -175,6 +178,7 @@ func (s *SortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		gathered = ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{})
 	}
 	orders := s.Orders
+	st := ec.Stats(s)
 	return ec.RDD.NewIterRDD(gathered, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		rows, err := sqltypes.Drain(in)
 		if err != nil {
@@ -214,7 +218,7 @@ func (s *SortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		for i, ix := range idx {
 			out[i] = rows[ix]
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	}), nil
 }
 
@@ -246,15 +250,18 @@ func (l *LimitExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	n := l.N
+	st := ec.Stats(l)
+	if child.NumPartitions() <= 1 {
+		return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+			return obs.Rows(st, &limitIter{in: in, left: n}), nil
+		}), nil
+	}
 	local := ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		return &limitIter{in: in, left: n}, nil
 	})
-	if child.NumPartitions() <= 1 {
-		return local, nil
-	}
 	gathered := ec.RDD.NewShuffledRDD(local, rdd.SinglePartitioner{})
 	return ec.RDD.NewIterRDD(gathered, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
-		return &limitIter{in: in, left: n}, nil
+		return obs.Rows(st, &limitIter{in: in, left: n}), nil
 	}), nil
 }
 
@@ -272,8 +279,9 @@ func (l *LimitExec) ExecuteStreaming(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	n := l.N
+	st := ec.Stats(l)
 	return ec.RDD.NewIterRDD(child, 0, func(_ *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
-		return &limitIter{in: in, left: n}, nil
+		return obs.Rows(st, &limitIter{in: in, left: n}), nil
 	}), nil
 }
 
@@ -329,10 +337,13 @@ func (e *ExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(e.Keys) == 0 {
-		return ec.RDD.NewShuffledRDD(child, rdd.SinglePartitioner{}), nil
+	part := rdd.Partitioner(rdd.SinglePartitioner{})
+	if len(e.Keys) > 0 {
+		part = keyPartitioner(e.Keys, e.NumPartitions)
 	}
-	return ec.RDD.NewShuffledRDD(child, keyPartitioner(e.Keys, e.NumPartitions)), nil
+	sh := ec.RDD.NewShuffledRDD(child, part)
+	sh.SetObs(ec.Stats(e))
+	return sh, nil
 }
 
 // VecExchangeExec is the columnar ExchangeExec: rows cross the shuffle as
@@ -372,7 +383,9 @@ func (e *VecExchangeExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ec.RDD.NewBatchShuffledRDD(child, e.Child.Schema(), e.Keys, e.NumPartitions), nil
+	sh := ec.RDD.NewBatchShuffledRDD(child, e.Child.Schema(), e.Keys, e.NumPartitions)
+	sh.SetObs(ec.Stats(e))
+	return sh, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -12,8 +12,10 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"indexeddf/internal/core"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -38,8 +40,13 @@ type ExecContext struct {
 	RDD *rdd.Context
 	Ctx context.Context
 
+	// Query is the query's observability collector; nil disables all
+	// instrumentation (operators wrap nothing and pay nothing).
+	Query *obs.QueryStats
+
 	mu    sync.Mutex
 	snaps map[*core.IndexedTable]*core.Snapshot
+	ops   map[Exec]*obs.OpStats
 }
 
 // NewExecContext builds an ExecContext on an rdd Context with a background
@@ -69,6 +76,80 @@ func (ec *ExecContext) SnapshotOf(t *core.IndexedTable) *core.Snapshot {
 		ec.snaps[t] = s
 	}
 	return s
+}
+
+// Stats returns e's per-operator collector, creating it on first use, or
+// nil when the query runs without observability. Execute methods call this
+// once and close over the result; the map survives execution so EXPLAIN
+// ANALYZE can render the collected numbers against the plan tree.
+func (ec *ExecContext) Stats(e Exec) *obs.OpStats {
+	if ec.Query == nil {
+		return nil
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if st, ok := ec.ops[e]; ok {
+		return st
+	}
+	if ec.ops == nil {
+		ec.ops = make(map[Exec]*obs.OpStats)
+	}
+	st := ec.Query.Op(opName(e))
+	ec.ops[e] = st
+	return st
+}
+
+// OpStats returns e's collector if one was created during execution.
+func (ec *ExecContext) OpStats(e Exec) *obs.OpStats {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.ops[e]
+}
+
+// opName derives the operator's short label from its concrete type:
+// *physical.VecHashAggExec -> "VecHashAgg".
+func opName(e Exec) string {
+	name := fmt.Sprintf("%T", e)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimSuffix(name, "Exec")
+}
+
+// AnalyzeString renders the plan as an indented tree with each operator's
+// collected runtime numbers appended — the EXPLAIN ANALYZE body. Operators
+// that recorded nothing (never executed, or proxied by a parent) render
+// bare. Wall times are inclusive of children, Postgres-style.
+func (ec *ExecContext) AnalyzeString(root Exec) string {
+	var sb strings.Builder
+	var rec func(Exec, int)
+	rec = func(node Exec, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(node.String())
+		if st := ec.OpStats(node); st != nil {
+			fmt.Fprintf(&sb, "  (actual rows=%d", st.RowsOut())
+			if b := st.Batches(); b > 0 {
+				fmt.Fprintf(&sb, " batches=%d", b)
+			}
+			if sel := st.Selectivity(); sel >= 0 {
+				fmt.Fprintf(&sb, " selectivity=%.1f%%", sel*100)
+			}
+			fmt.Fprintf(&sb, " wall=%s", time.Duration(st.WallNs()).Round(time.Microsecond))
+			if m := st.MemBytes(); m > 0 {
+				fmt.Fprintf(&sb, " mem=%s", obs.FormatBytes(m))
+			}
+			if by := st.Bytes(); by > 0 {
+				fmt.Fprintf(&sb, " bytes=%s", obs.FormatBytes(by))
+			}
+			sb.WriteByte(')')
+		}
+		sb.WriteByte('\n')
+		for _, c := range node.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return sb.String()
 }
 
 // TreeString renders a physical plan as an indented tree.

@@ -6,6 +6,7 @@ import (
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -109,6 +110,7 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	n := snap.NumPartitions()
 	indexedWidth := j.Indexed.Schema().Len()
+	st := ec.Stats(j)
 	if j.Broadcast {
 		probeRows, err := ec.RDD.CollectCtx(ec.Ctx, probeRDD)
 		if err != nil {
@@ -130,6 +132,7 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		}
 		return ec.RDD.NewIterRDD(nil, n, func(tc *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 			var b sliceBuilder
+			st.AddRowsIn(int64(len(routed[p])))
 			for i, probeRow := range routed[p] {
 				if i%1024 == 0 {
 					if err := tc.Err(); err != nil {
@@ -144,7 +147,7 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 					b.add(probeRow.Concat(nullRow(indexedWidth)))
 				}
 			}
-			return b.iter(), nil
+			return obs.Rows(st, b.iter()), nil
 		}), nil
 	}
 	// Shuffle mode: hash the probe side with the index's partitioning.
@@ -155,6 +158,7 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	shuffled := ec.RDD.NewShuffledRDD(probeRDD, part)
 	return ec.RDD.NewIterRDD(shuffled, 0, func(tc *rdd.TaskContext, p int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var b sliceBuilder
+		in = obs.CountInto(st, in)
 		for n := 0; ; n++ {
 			if n%1024 == 0 {
 				if err := tc.Err(); err != nil {
@@ -176,6 +180,6 @@ func (j *IndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 				b.add(probeRow.Concat(nullRow(indexedWidth)))
 			}
 		}
-		return b.iter(), nil
+		return obs.Rows(st, b.iter()), nil
 	}), nil
 }

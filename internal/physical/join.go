@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -149,6 +150,7 @@ func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	lKeys, rKeys := j.LeftKeys, j.RightKeys
 	jt, residual := j.Type, j.Residual
 	rightWidth := j.Right.Schema().Len()
+	st := ec.Stats(j)
 	return ec.RDD.NewZipRDD(ls, rs, func(tc *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
 		rrows, err := sqltypes.Drain(rit)
 		if err != nil {
@@ -158,12 +160,13 @@ func (j *ShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.AddRowsIn(int64(len(lrows) + len(rrows)))
 		ht := buildHashTable(rrows, rKeys)
 		out, err := probe(tc, lrows, ht, lKeys, true, jt, residual, rightWidth)
 		if err != nil {
 			return nil, err
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	})
 }
 
@@ -223,16 +226,18 @@ func (j *BroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	jt, residual := j.Type, j.Residual
 	buildWidth := j.Build.Schema().Len()
 	streamIsLeft := j.BuildIsRight
+	st := ec.Stats(j)
 	return ec.RDD.NewIterRDD(stream, 0, func(tc *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
 		srows, err := sqltypes.Drain(in)
 		if err != nil {
 			return nil, err
 		}
+		st.AddRowsIn(int64(len(srows)))
 		out, err := probe(tc, srows, ht, sKeys, streamIsLeft, jt, residual, buildWidth)
 		if err != nil {
 			return nil, err
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	}), nil
 }
 
@@ -283,7 +288,9 @@ func (j *NestedLoopJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	cond, jt := j.Cond, j.Type
 	rightWidth := j.Right.Schema().Len()
+	st := ec.Stats(j)
 	return ec.RDD.NewIterRDD(left, 0, func(tc *rdd.TaskContext, _ int, in sqltypes.RowIter) (sqltypes.RowIter, error) {
+		in = obs.CountInto(st, in)
 		var out []sqltypes.Row
 		for {
 			// The cross product explodes quadratically; poll cancellation
@@ -317,6 +324,6 @@ func (j *NestedLoopJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 				out = append(out, l.Concat(nullRow(rightWidth)))
 			}
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	}), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 )
@@ -45,12 +46,13 @@ func (s *ColumnarScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	table := s.Table
 	proj := s.Projection
 	n := table.NumPartitions()
+	st := ec.Stats(s)
 	return ec.RDD.NewIterRDD(nil, n, func(_ *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 		if !table.IsCached() {
 			// Uncached: walk the row partition.
 			rows := table.RowPartition(p)
 			if proj == nil {
-				return sqltypes.NewSliceIter(rows), nil
+				return obs.Rows(st, sqltypes.NewSliceIter(rows)), nil
 			}
 			out := make([]sqltypes.Row, len(rows))
 			for i, r := range rows {
@@ -60,7 +62,7 @@ func (s *ColumnarScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 				}
 				out[i] = pr
 			}
-			return sqltypes.NewSliceIter(out), nil
+			return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 		}
 		batch, err := table.ColumnarPartition(p)
 		if err != nil {
@@ -77,7 +79,7 @@ func (s *ColumnarScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 				out[i] = batch.ProjectRow(i, proj, nil)
 			}
 		}
-		return sqltypes.NewSliceIter(out), nil
+		return obs.Rows(st, sqltypes.NewSliceIter(out)), nil
 	}), nil
 }
 
@@ -116,6 +118,7 @@ func (s *IndexedScanExec) String() string {
 func (s *IndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	snap := ec.SnapshotOf(s.Table.Core())
 	proj := s.Projection
+	st := ec.Stats(s)
 	return ec.RDD.NewIterRDD(nil, snap.NumPartitions(), func(tc *rdd.TaskContext, p int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var b sliceBuilder
 		var err error
@@ -138,7 +141,7 @@ func (s *IndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		if cerr := tc.Err(); cerr != nil {
 			return nil, cerr
 		}
-		return b.iter(), nil
+		return obs.Rows(st, b.iter()), nil
 	}), nil
 }
 
@@ -191,6 +194,7 @@ func (s *IndexLookupExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	residual := s.Residual
+	st := ec.Stats(s)
 	// A single partition computes the lookup: the key's home partition.
 	return ec.RDD.NewIterRDD(nil, 1, func(_ *rdd.TaskContext, _ int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
 		var b sliceBuilder
@@ -215,7 +219,7 @@ func (s *IndexLookupExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		if evalErr != nil {
 			return nil, evalErr
 		}
-		return b.iter(), nil
+		return obs.Rows(st, b.iter()), nil
 	}), nil
 }
 

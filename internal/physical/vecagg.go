@@ -5,6 +5,7 @@ import (
 
 	"indexeddf/internal/columnar"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -52,13 +53,18 @@ func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	inSchema := h.Child.Schema()
+	st := ec.Stats(h)
 	if h.Mode == AggFinal {
 		// The final merge needs no expression compilation: group keys are
 		// the leading columns of the accumulator schema and the aggregate
 		// state columns follow positionally.
 		intKey := len(h.Groups) == 1 && inSchema.Fields[0].Type.IntLane()
 		return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
-			return h.mergeFinal(tc, in, intKey)
+			out, err := h.mergeFinal(tc, in, intKey, st)
+			if err != nil {
+				return nil, err
+			}
+			return obs.Batches(st, out), nil
 		}), nil
 	}
 	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
@@ -81,7 +87,11 @@ func (h *VecHashAggExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			}
 			args[i] = ve
 		}
-		return h.aggregate(tc, in, groups, args)
+		out, err := h.aggregate(tc, in, groups, args, st)
+		if err != nil {
+			return nil, err
+		}
+		return obs.Batches(st, out), nil
 	}), nil
 }
 
@@ -93,7 +103,7 @@ func groupBytes(nKeys, nAggs int) int64 {
 }
 
 // aggregate consumes the whole input and renders the result batches.
-func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, groupExprs, argExprs []*expr.VecExpr) (vector.BatchIter, error) {
+func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, groupExprs, argExprs []*expr.VecExpr, st *obs.OpStats) (vector.BatchIter, error) {
 	table := map[string]*aggGroup{}
 	var order []*aggGroup
 	ga := groupAlloc{nAggs: len(h.Aggs)}
@@ -120,6 +130,7 @@ func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, gro
 		if b == nil {
 			break
 		}
+		st.AddRowsIn(int64(b.Len()))
 		for i, ge := range groupExprs {
 			if gvecs[i], err = ge.Eval(b); err != nil {
 				return nil, err
@@ -183,6 +194,7 @@ func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, gro
 			if err := mem.Reserve("VecHashAgg", int64(nw-charged)*perGroup); err != nil {
 				return nil, err
 			}
+			st.AddMem(int64(nw-charged) * perGroup)
 			charged = nw
 		}
 	}
@@ -194,7 +206,7 @@ func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, gro
 // every row is folded column-wise into the group table. Only the group
 // probe touches per-row values; numeric accumulator columns are read
 // straight from their typed lanes.
-func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, intKey bool) (vector.BatchIter, error) {
+func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, intKey bool, st *obs.OpStats) (vector.BatchIter, error) {
 	table := map[string]*aggGroup{}
 	intTable := map[int64]*aggGroup{}
 	var nullGroup *aggGroup
@@ -216,6 +228,7 @@ func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, in
 		if b == nil {
 			break
 		}
+		st.AddRowsIn(int64(b.Len()))
 		n := b.Len()
 		for i := 0; i < n; i++ {
 			var g *aggGroup
@@ -258,6 +271,7 @@ func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, in
 			if err := mem.Reserve("VecHashAgg", int64(nw-charged)*perGroup); err != nil {
 				return nil, err
 			}
+			st.AddMem(int64(nw-charged) * perGroup)
 			charged = nw
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -44,6 +45,7 @@ func (f *VecFilterExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	schema := f.Child.Schema()
 	cond := f.Cond
+	st := ec.Stats(f)
 	return ec.RDD.NewBatchIterRDD(child, 0, schema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		// Compiled per partition task: kernels own scratch vectors and are
 		// not safe to share across concurrently computed partitions.
@@ -51,7 +53,7 @@ func (f *VecFilterExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		if !ok {
 			return nil, fmt.Errorf("physical: predicate %s is not vectorizable", cond)
 		}
-		return &vecFilterIter{in: in, pred: pred, out: vector.NewBatch(schema)}, nil
+		return obs.Batches(st, &vecFilterIter{in: in, pred: pred, out: vector.NewBatch(schema), st: st}), nil
 	}), nil
 }
 
@@ -60,6 +62,10 @@ type vecFilterIter struct {
 	pred *expr.VecExpr
 	out  *vector.Batch
 	sel  []int
+	// st, when set, receives per-batch input-row counts — the numerator of
+	// the operator's observed predicate selectivity (outputs are counted by
+	// the obs.Batches wrapper).
+	st *obs.OpStats
 }
 
 // Next implements vector.BatchIter.
@@ -69,6 +75,7 @@ func (it *vecFilterIter) Next() (*vector.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
+		it.st.AddRowsIn(int64(b.Len()))
 		bools, err := it.pred.Eval(b)
 		if err != nil {
 			return nil, err
@@ -126,6 +133,7 @@ func (p *VecProjectExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	inSchema := p.Child.Schema()
 	outSchema := p.schema
 	exprs := p.Exprs
+	st := ec.Stats(p)
 	return ec.RDD.NewBatchIterRDD(child, 0, inSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		compiled := make([]*expr.VecExpr, len(exprs))
 		for i, e := range exprs {
@@ -135,7 +143,7 @@ func (p *VecProjectExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 			}
 			compiled[i] = ve
 		}
-		return &vecProjectIter{in: in, exprs: compiled, out: vector.NewBatch(outSchema)}, nil
+		return obs.Batches(st, &vecProjectIter{in: in, exprs: compiled, out: vector.NewBatch(outSchema)}), nil
 	}), nil
 }
 

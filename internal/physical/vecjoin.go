@@ -6,6 +6,7 @@ import (
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -93,6 +94,9 @@ type vecProbeIter struct {
 	out, filtered *vector.Batch
 	keyBuf        []byte
 	sel           []int
+	// st, when set, receives per-batch probe-side input counts (matches are
+	// counted by the obs.Batches wrapper around this iterator).
+	st *obs.OpStats
 }
 
 // Next implements vector.BatchIter.
@@ -102,6 +106,7 @@ func (it *vecProbeIter) Next() (*vector.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
+		it.st.AddRowsIn(int64(b.Len()))
 		it.out.Reset()
 		n := b.Len()
 	rows:
@@ -182,13 +187,14 @@ func (j *VecBroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	streamSchema := j.Stream.Schema()
 	outSchema := j.Schema()
 	sKeys, streamIsLeft, residual := j.StreamKeys, j.BuildIsRight, j.Residual
+	st := ec.Stats(j)
 	return ec.RDD.NewBatchIterRDD(stream, 0, streamSchema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		res, err := compileResidual(residual)
 		if err != nil {
 			return nil, err
 		}
-		return &vecProbeIter{in: in, ht: ht, keys: sKeys, streamIsLeft: streamIsLeft,
-			residual: res, out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}, nil
+		return obs.Batches(st, &vecProbeIter{in: in, ht: ht, keys: sKeys, streamIsLeft: streamIsLeft,
+			residual: res, out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema), st: st}), nil
 	}), nil
 }
 
@@ -242,11 +248,13 @@ func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	leftSchema := j.Left.Schema()
 	outSchema := j.Schema()
 	lKeys, rKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
+	st := ec.Stats(j)
 	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
 		rrows, err := sqltypes.Drain(rit)
 		if err != nil {
 			return nil, err
 		}
+		st.AddRowsIn(int64(len(rrows)))
 		ht := buildHashTable(rrows, rKeys)
 		res, err := compileResidual(residual)
 		if err != nil {
@@ -254,8 +262,10 @@ func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		}
 		probe := &vecProbeIter{in: vector.AsBatchIter(lit, leftSchema, vector.DefaultBatchSize),
 			ht: ht, keys: lKeys, streamIsLeft: true, residual: res,
-			out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}
-		return vector.NewRowIter(probe), nil
+			out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema), st: st}
+		// Wrap at the batch level so a downstream vectorized consumer's
+		// AsBatchIter splices back to the instrumented iterator.
+		return vector.NewRowIter(obs.Batches(st, probe)), nil
 	})
 }
 
@@ -307,15 +317,16 @@ func (j *VecIndexedJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	n := snap.NumPartitions()
 	probeSchema := j.Probe.Schema()
 	outSchema := j.schema
+	st := ec.Stats(j)
 	mkIter := func(in vector.BatchIter, p int) (vector.BatchIter, error) {
 		res, err := compileResidual(j.Residual)
 		if err != nil {
 			return nil, err
 		}
-		return &vecIndexedJoinIter{in: in, snap: snap, part: p, probeKey: j.ProbeKey,
+		return obs.Batches(st, &vecIndexedJoinIter{in: in, snap: snap, part: p, probeKey: j.ProbeKey,
 			indexedIsLeft: j.IndexedIsLeft, residual: res,
 			decodeRow: make(sqltypes.Row, j.Indexed.Schema().Len()),
-			out:       vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema)}, nil
+			out:       vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema), st: st}), nil
 	}
 	if j.Broadcast {
 		probeRows, err := ec.RDD.CollectCtx(ec.Ctx, probeRDD)
@@ -356,6 +367,7 @@ type vecIndexedJoinIter struct {
 	decodeRow     sqltypes.Row
 	out, filtered *vector.Batch
 	sel           []int
+	st            *obs.OpStats
 }
 
 // Next implements vector.BatchIter.
@@ -365,6 +377,7 @@ func (it *vecIndexedJoinIter) Next() (*vector.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
+		it.st.AddRowsIn(int64(b.Len()))
 		it.out.Reset()
 		n := b.Len()
 		keyCol := b.Cols[it.probeKey]

@@ -5,6 +5,7 @@ import (
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/columnar"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -49,16 +50,17 @@ func (s *VecColumnarScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	proj := s.Projection
 	schema := s.schema
 	n := table.NumPartitions()
+	st := ec.Stats(s)
 	return ec.RDD.NewBatchIterRDD(nil, n, nil, func(_ *rdd.TaskContext, p int, _ vector.BatchIter) (vector.BatchIter, error) {
 		if !table.IsCached() {
 			// Uncached: gather the row partition into batches.
-			return batchRows(table.RowPartition(p), proj, schema), nil
+			return obs.Batches(st, batchRows(table.RowPartition(p), proj, schema)), nil
 		}
 		cb, err := table.ColumnarPartition(p)
 		if err != nil {
 			return nil, err
 		}
-		return &columnarSliceIter{cb: cb, proj: proj, schema: schema}, nil
+		return obs.Batches(st, &columnarSliceIter{cb: cb, proj: proj, schema: schema}), nil
 	}), nil
 }
 
@@ -155,6 +157,7 @@ func (s *VecIndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	snap := ec.SnapshotOf(s.Table.Core())
 	proj := s.Projection
 	schema := s.schema
+	st := ec.Stats(s)
 	return ec.RDD.NewBatchIterRDD(nil, snap.NumPartitions(), nil, func(_ *rdd.TaskContext, p int, _ vector.BatchIter) (vector.BatchIter, error) {
 		// First pass counts the partition's visible rows (no decoding), so
 		// the column vectors are sized exactly once; the decode pass then
@@ -206,6 +209,6 @@ func (s *VecIndexedScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &columnarSliceIter{cb: columnar.BatchOf(schema, cols), schema: schema}, nil
+		return obs.Batches(st, &columnarSliceIter{cb: columnar.BatchOf(schema, cols), schema: schema}), nil
 	}), nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"indexeddf/internal/columnar"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -64,14 +65,24 @@ func (s *VecSortExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	}
 	schema := s.Child.Schema()
 	orders := s.Orders
+	st := ec.Stats(s)
+	single := child.NumPartitions() <= 1
 	runs := ec.RDD.NewBatchIterRDD(child, 0, schema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
-		return sortPartition(tc, in, schema, orders)
+		out, err := sortPartition(tc, in, schema, orders, st)
+		if err != nil || !single {
+			return out, err
+		}
+		return obs.Batches(st, out), nil
 	})
-	if child.NumPartitions() <= 1 {
+	if single {
 		return runs, nil
 	}
 	return ec.RDD.NewBatchMergeRDD(runs, schema, func(tc *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
-		return newRunMerge(tc, schema, orders, ins, -1)
+		out, err := newRunMerge(tc, schema, orders, ins, -1)
+		if err != nil {
+			return nil, err
+		}
+		return obs.Batches(st, out), nil
 	}), nil
 }
 
@@ -112,7 +123,7 @@ func evalKeys(exprs []*expr.VecExpr, b *vector.Batch) ([]*columnar.Vector, error
 // sorts the index permutation and serves the run as lazily gathered
 // output batches.
 func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Schema,
-	orders []SortOrder) (vector.BatchIter, error) {
+	orders []SortOrder, st *obs.OpStats) (vector.BatchIter, error) {
 	keyExprs, keyTypes, desc, err := sortKeys(orders)
 	if err != nil {
 		return nil, err
@@ -132,6 +143,7 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		if b == nil {
 			break
 		}
+		st.AddRowsIn(int64(b.Len()))
 		keys, err := evalKeys(keyExprs, b)
 		if err != nil {
 			return nil, err
@@ -143,10 +155,12 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		if err := mem.Reserve("VecSort", b.MemBytes()); err != nil {
 			return nil, err
 		}
+		st.AddMem(b.MemBytes())
 		if cur := lanes.MemBytes(); cur > laneCharged {
 			if err := mem.Reserve("VecSort", cur-laneCharged); err != nil {
 				return nil, err
 			}
+			st.AddMem(cur - laneCharged)
 			laneCharged = cur
 		}
 	}
@@ -154,6 +168,7 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 	if err := mem.Reserve("VecSort", int64(lanes.Len())*8); err != nil {
 		return nil, err
 	}
+	st.AddMem(int64(lanes.Len()) * 8)
 	idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
 	if err != nil {
 		return nil, err
@@ -253,21 +268,31 @@ func (t *VecTopNExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	schema := t.Child.Schema()
 	orders := t.Orders
 	n := t.N
+	st := ec.Stats(t)
+	single := child.NumPartitions() <= 1
 	runs := ec.RDD.NewBatchIterRDD(child, 0, schema, func(tc *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
-		return topNPartition(tc, in, schema, orders, n)
+		out, err := topNPartition(tc, in, schema, orders, n, st)
+		if err != nil || !single {
+			return out, err
+		}
+		return obs.Batches(st, out), nil
 	})
-	if child.NumPartitions() <= 1 {
+	if single {
 		return runs, nil // the collector already emits at most n sorted rows
 	}
 	return ec.RDD.NewBatchMergeRDD(runs, schema, func(tc *rdd.TaskContext, ins []vector.BatchIter) (vector.BatchIter, error) {
-		return newRunMerge(tc, schema, orders, ins, n)
+		out, err := newRunMerge(tc, schema, orders, ins, n)
+		if err != nil {
+			return nil, err
+		}
+		return obs.Batches(st, out), nil
 	}), nil
 }
 
 // topNPartition scans one partition through the bounded collector and
 // emits its top n as a sorted run.
 func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Schema,
-	orders []SortOrder, n int64) (vector.BatchIter, error) {
+	orders []SortOrder, n int64, st *obs.OpStats) (vector.BatchIter, error) {
 	keyExprs, keyTypes, desc, err := sortKeys(orders)
 	if err != nil {
 		return nil, err
@@ -286,6 +311,7 @@ func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		if b == nil {
 			break
 		}
+		st.AddRowsIn(int64(b.Len()))
 		keys, err := evalKeys(keyExprs, b)
 		if err != nil {
 			return nil, err
@@ -297,6 +323,7 @@ func topNPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 			if err := mem.Reserve("VecTopN", cur-charged); err != nil {
 				return nil, err
 			}
+			st.AddMem(cur - charged)
 			charged = cur
 		}
 	}

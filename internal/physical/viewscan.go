@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"indexeddf/internal/catalog"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
@@ -49,7 +50,10 @@ func (s *ViewScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ec.RDD.NewSliceRDD([][]sqltypes.Row{rows}), nil
+	st := ec.Stats(s)
+	return ec.RDD.NewIterRDD(nil, 1, func(_ *rdd.TaskContext, _ int, _ sqltypes.RowIter) (sqltypes.RowIter, error) {
+		return obs.Rows(st, sqltypes.NewSliceIter(rows)), nil
+	}), nil
 }
 
 // viewRows refreshes the view and projects its state rows onto cols.
@@ -105,7 +109,8 @@ func (s *VecViewScanExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 		return nil, err
 	}
 	schema := s.schema
+	st := ec.Stats(s)
 	return ec.RDD.NewBatchIterRDD(nil, 1, nil, func(_ *rdd.TaskContext, _ int, _ vector.BatchIter) (vector.BatchIter, error) {
-		return batchRows(rows, nil, schema), nil
+		return obs.Batches(st, batchRows(rows, nil, schema)), nil
 	}), nil
 }

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"indexeddf/internal/faultpoint"
 	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/storage"
 	"indexeddf/internal/vector"
@@ -30,6 +32,10 @@ type Context struct {
 	// that cancellation stops the remaining tasks.
 	tasksStarted   atomic.Int64
 	tasksCompleted atomic.Int64
+
+	// shuffleBytes totals the payload bytes written through the shuffle
+	// service since the context was created (registry counter).
+	shuffleBytes atomic.Int64
 }
 
 // Option configures a Context.
@@ -71,6 +77,10 @@ func (c *Context) TasksStarted() int64 { return c.tasksStarted.Load() }
 
 // TasksCompleted returns the number of partition tasks finished so far.
 func (c *Context) TasksCompleted() int64 { return c.tasksCompleted.Load() }
+
+// ShuffleBytes returns the total payload bytes written through the shuffle
+// service since the context was created.
+func (c *Context) ShuffleBytes() int64 { return c.shuffleBytes.Load() }
 
 // ShuffleOutstanding reports how many shuffles still retain map outputs —
 // the leak invariant: it returns to zero once every cursor over shuffle
@@ -153,8 +163,28 @@ func (c *Context) parallelFor(ctx context.Context, n int, f func(i int) error) e
 // memory tracker. Task metrics are updated around it; a panic anywhere in
 // the operator chain is contained into the returned error. The second
 // result is the drained rows' accounted byte size (0 without a tracker).
-func (c *Context) computePartition(ctx context.Context, r RDD, p int) (rows []sqltypes.Row, bytes int64, err error) {
+func (c *Context) computePartition(ctx context.Context, r RDD, p int) ([]sqltypes.Row, int64, error) {
+	qs := obs.FromContext(ctx)
+	if qs == nil {
+		return c.computeTask(ctx, r, p, nil)
+	}
+	// Attribute the task's CPU samples to the query and record the span.
+	var (
+		rows  []sqltypes.Row
+		bytes int64
+		err   error
+	)
+	start := time.Now()
+	qs.Do(ctx, "", func(ctx context.Context) {
+		rows, bytes, err = c.computeTask(ctx, r, p, qs)
+	})
+	qs.Event("task", p, time.Since(start))
+	return rows, bytes, err
+}
+
+func (c *Context) computeTask(ctx context.Context, r RDD, p int, qs *obs.QueryStats) (rows []sqltypes.Row, bytes int64, err error) {
 	c.tasksStarted.Add(1)
+	qs.TaskStarted()
 	defer containPanic(&err)
 	if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
 		return nil, 0, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
@@ -169,6 +199,7 @@ func (c *Context) computePartition(ctx context.Context, r RDD, p int) (rows []sq
 		return nil, bytes, fmt.Errorf("rdd: partition %d of rdd %d: %w", p, r.ID(), err)
 	}
 	c.tasksCompleted.Add(1)
+	qs.TaskFinished()
 	return rows, bytes, nil
 }
 
@@ -331,55 +362,80 @@ func (c *Context) runShuffleStage(ctx context.Context, dep *ShuffleDependency) e
 	return c.shuffles.RunOnce(dep.ShuffleID, func() error {
 		parent := dep.P
 		nReduce := dep.numReduce()
+		qs := obs.FromContext(ctx)
 		return c.parallelFor(ctx, parent.NumPartitions(), func(mapPart int) error {
-			c.tasksStarted.Add(1)
-			if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
-				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			start := time.Now()
+			var taskErr error
+			qs.Do(ctx, "", func(ctx context.Context) {
+				taskErr = c.shuffleMapTask(ctx, dep, mapPart, nReduce, qs)
+			})
+			if qs != nil {
+				qs.Event("shuffle write", mapPart, time.Since(start))
+				dep.Obs.AddWall(int64(time.Since(start)))
 			}
-			tc := &TaskContext{Ctx: c, Partition: mapPart, ctx: ctx}
-			it, err := parent.Compute(tc, mapPart)
-			if err != nil {
-				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
-			}
-			if dep.Batch != nil {
-				if err := c.batchMapTask(ctx, dep, mapPart, it, nReduce); err != nil {
-					return err
-				}
-				c.tasksCompleted.Add(1)
-				return nil
-			}
-			buckets := make([][]sqltypes.Row, nReduce)
-			var bytes int64
-			for n := 0; ; n++ {
-				if n%1024 == 0 {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-				}
-				row, err := it.Next()
-				if err != nil {
-					return err
-				}
-				if row == nil {
-					break
-				}
-				b := dep.Partitioner.PartitionFor(row)
-				buckets[b] = append(buckets[b], row)
-				bytes += RowBytes(row)
-			}
-			if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
-				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
-			}
-			mem := memory.FromContext(ctx)
-			if err := mem.Reserve("shuffle write", bytes); err != nil {
-				return err
-			}
-			c.shuffles.charge(dep.ShuffleID, mem, bytes)
-			c.shuffles.WriteRows(dep.ShuffleID, mapPart, buckets)
-			c.tasksCompleted.Add(1)
-			return nil
+			return taskErr
 		})
 	})
+}
+
+// shuffleMapTask computes one parent partition and publishes its buckets
+// into the shuffle service — rows through the partitioner for a row
+// exchange, batches through the scatter kernel for a columnar one.
+func (c *Context) shuffleMapTask(ctx context.Context, dep *ShuffleDependency, mapPart, nReduce int, qs *obs.QueryStats) error {
+	c.tasksStarted.Add(1)
+	qs.TaskStarted()
+	if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
+		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	}
+	tc := &TaskContext{Ctx: c, Partition: mapPart, ctx: ctx}
+	it, err := dep.P.Compute(tc, mapPart)
+	if err != nil {
+		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	}
+	if dep.Batch != nil {
+		if err := c.batchMapTask(ctx, dep, mapPart, it, nReduce); err != nil {
+			return err
+		}
+		c.tasksCompleted.Add(1)
+		qs.TaskFinished()
+		return nil
+	}
+	buckets := make([][]sqltypes.Row, nReduce)
+	var bytes, rows int64
+	for n := 0; ; n++ {
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		b := dep.Partitioner.PartitionFor(row)
+		buckets[b] = append(buckets[b], row)
+		bytes += RowBytes(row)
+		rows++
+	}
+	if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
+		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	}
+	mem := memory.FromContext(ctx)
+	if err := mem.Reserve("shuffle write", bytes); err != nil {
+		return err
+	}
+	c.shuffles.charge(dep.ShuffleID, mem, bytes)
+	c.shuffles.WriteRows(dep.ShuffleID, mapPart, buckets)
+	c.shuffleBytes.Add(bytes)
+	qs.AddShuffleBytes(bytes)
+	dep.Obs.AddRowsOut(rows)
+	dep.Obs.AddBytes(bytes)
+	c.tasksCompleted.Add(1)
+	qs.TaskFinished()
+	return nil
 }
 
 // batchMapTask is the map side of a columnar exchange: the parent's
@@ -407,10 +463,12 @@ func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapP
 		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
 	}
 	sealed := sc.Seal()
-	var bytes int64
+	var bytes, rows, nBatches int64
 	for _, bucket := range sealed {
 		for _, b := range bucket {
 			bytes += b.MemBytes()
+			rows += int64(b.Len())
+			nBatches++
 		}
 	}
 	if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
@@ -422,6 +480,13 @@ func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapP
 	}
 	c.shuffles.charge(dep.ShuffleID, mem, bytes)
 	c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sealed)
+	c.shuffleBytes.Add(bytes)
+	obs.FromContext(ctx).AddShuffleBytes(bytes)
+	if dep.Obs != nil {
+		dep.Obs.AddRowsOut(rows)
+		dep.Obs.AddBatches(nBatches)
+		dep.Obs.AddBytes(bytes)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
 )
@@ -54,6 +55,11 @@ type ShuffleDependency struct {
 	// fallback) and reduce tasks stream sealed batches back out, so data
 	// stays columnar across the stage boundary.
 	Batch *BatchExchange
+	// Obs, when non-nil, receives the map side's runtime numbers (rows,
+	// batches, payload bytes, task wall time) — the exchange operator's
+	// stats are collected here because its output iterator belongs to the
+	// shuffle service, not to an Execute closure.
+	Obs *obs.OpStats
 }
 
 // BatchExchange configures a columnar shuffle dependency.
@@ -287,6 +293,10 @@ func (c *Context) NewBatchShuffledRDD(parent RDD, schema *sqltypes.Schema, ords 
 	return &ShuffledRDD{id: c.nextRDDID(), dep: dep}
 }
 
+// SetObs routes the shuffle's map-side runtime numbers into st (nil
+// disables collection).
+func (r *ShuffledRDD) SetObs(st *obs.OpStats) { r.dep.Obs = st }
+
 // ID implements RDD.
 func (r *ShuffledRDD) ID() int { return r.id }
 
@@ -301,6 +311,7 @@ func (r *ShuffledRDD) Dependencies() []Dependency { return []Dependency{r.dep} }
 // front; the columnar flavor additionally presents its batches behind a
 // row shim that vectorized consumers splice away.
 func (r *ShuffledRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	obs.FromContext(tc.Cancellation()).Event("shuffle fetch", p, 0)
 	if r.dep.Batch != nil {
 		br, err := tc.Ctx.shuffles.OpenBatchReader(r.dep.ShuffleID, p, tc)
 		if err != nil {

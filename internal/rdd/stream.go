@@ -8,6 +8,7 @@ import (
 
 	"indexeddf/internal/faultpoint"
 	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/sqltypes"
 )
 
@@ -230,6 +231,8 @@ func (s *RowStream) lazyNext() (row sqltypes.Row, err error) {
 			return nil, err
 		}
 		s.c.tasksStarted.Add(1)
+		qs := obs.FromContext(s.ctx)
+		qs.TaskStarted()
 		if err := faultpoint.Hit(faultpoint.TaskStart); err != nil {
 			err = fmt.Errorf("rdd: partition 0 of rdd %d: %w", s.r.ID(), err)
 			s.finishWithErr(err)
@@ -242,6 +245,7 @@ func (s *RowStream) lazyNext() (row sqltypes.Row, err error) {
 			s.finishWithErr(err)
 			return nil, err
 		}
+		qs.Event("merge start", 0, 0)
 		s.lazyIter = it
 	}
 	if s.lazyCount%1024 == 0 {
@@ -258,6 +262,7 @@ func (s *RowStream) lazyNext() (row sqltypes.Row, err error) {
 	}
 	if row == nil {
 		s.c.tasksCompleted.Add(1)
+		obs.FromContext(s.ctx).TaskFinished()
 		s.finish()
 		return nil, nil
 	}

@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"FALSE": true, "CAST": true, "CROSS": true, "BETWEEN": true, "IN": true,
 	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
 	"END": true, "CREATE": true, "DROP": true, "REFRESH": true,
-	"MATERIALIZED": true, "VIEW": true,
+	"MATERIALIZED": true, "VIEW": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes the input.

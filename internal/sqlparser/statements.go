@@ -20,6 +20,10 @@ const (
 	StmtDropView
 	// StmtRefreshView is REFRESH MATERIALIZED VIEW name.
 	StmtRefreshView
+	// StmtExplain is EXPLAIN [ANALYZE] SELECT ...; Statement.Select holds
+	// the explained query and Statement.Analyze reports whether it should
+	// be executed (ANALYZE) or only planned.
+	StmtExplain
 )
 
 // Statement is one parsed SQL statement: either a query or a
@@ -38,6 +42,10 @@ type Statement struct {
 	// (StmtSelect only; prepared statements bind one argument per
 	// placeholder, in lexical order).
 	NumParams int
+	// Analyze marks EXPLAIN ANALYZE (StmtExplain only): the query runs to
+	// completion and the rendered plan carries actual row counts and
+	// timings.
+	Analyze bool
 }
 
 // ParseStatement compiles one SQL statement: SELECT queries (see Parse)
@@ -91,6 +99,16 @@ func ParseStatement(query string, resolve Resolver) (*Statement, error) {
 			ViewName: name,
 			ViewSQL:  strings.TrimSpace(query[selStart:]),
 		}, nil
+	case p.accept(tkKeyword, "EXPLAIN"):
+		analyze := p.accept(tkKeyword, "ANALYZE")
+		node, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{Kind: StmtExplain, Select: node, NumParams: p.params, Analyze: analyze}, nil
 	case p.accept(tkKeyword, "DROP"):
 		name, err := expectViewName("DROP")
 		if err != nil {

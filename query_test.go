@@ -44,9 +44,8 @@ func newStreamSession(t *testing.T, n, partitions, parallelism int) (*Session, *
 // under 10% of partition tasks have completed.
 func TestCursorStreamsBeforeJobCompletes(t *testing.T) {
 	const nRows, nParts = 1_000_000, 64
-	s, df := newStreamSession(t, nRows, nParts, 2)
+	_, df := newStreamSession(t, nRows, nParts, 2)
 
-	base := s.Context().TasksCompleted()
 	rows, err := df.Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +54,7 @@ func TestCursorStreamsBeforeJobCompletes(t *testing.T) {
 	if !rows.Next() {
 		t.Fatalf("no first row: %v", rows.Err())
 	}
-	completed := s.Context().TasksCompleted() - base
+	completed := rows.Stats().TasksCompleted()
 	if limit := int64(nParts / 10); completed >= limit {
 		t.Fatalf("first row only after %d of %d partition tasks completed (want < %d)", completed, nParts, limit)
 	}
@@ -77,9 +76,8 @@ func TestCursorStreamsBeforeJobCompletes(t *testing.T) {
 // never launched, instead of every partition being gathered first.
 func TestLimitStreamingEarlyTerminates(t *testing.T) {
 	const nRows, nParts = 200_000, 64
-	s, df := newStreamSession(t, nRows, nParts, 2)
+	_, df := newStreamSession(t, nRows, nParts, 2)
 
-	base := s.Context().TasksStarted()
 	rows, err := df.Limit(5).Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +95,7 @@ func TestLimitStreamingEarlyTerminates(t *testing.T) {
 	}
 	// Delivering 5 rows needed the first partition (plus whatever the
 	// 2-wide pool had already picked up) — nowhere near all 64.
-	started := s.Context().TasksStarted() - base
+	started := rows.Stats().TasksStarted()
 	if started >= nParts/2 {
 		t.Fatalf("LIMIT 5 launched %d of %d partition tasks (want far fewer)", started, nParts)
 	}
@@ -130,7 +128,6 @@ func TestLimitStreamingEarlyTerminatesSorted(t *testing.T) {
 	}
 
 	baseStarted := s.Context().TasksStarted()
-	baseCompleted := s.Context().TasksCompleted()
 	rows, err := df.OrderBy("val", "id").Limit(5).Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -150,13 +147,18 @@ func TestLimitStreamingEarlyTerminatesSorted(t *testing.T) {
 	}
 	// One heap task per partition plus the lazy merge task — no gather
 	// stage, no global-limit stage.
-	started := s.Context().TasksStarted() - baseStarted
+	started := rows.Stats().TasksStarted()
 	if started != nParts+1 {
 		t.Fatalf("top-n cursor started %d tasks, want %d map + 1 merge", started, nParts)
 	}
+	// The per-query counter and the session-global counter count the same
+	// task set.
+	if global := s.Context().TasksStarted() - baseStarted; global != started {
+		t.Fatalf("session-global task counter moved by %d, per-query counted %d", global, started)
+	}
 	// The abandoned merge never drained the remaining candidate rows: all
 	// map tasks completed, the merge task did not.
-	completed := s.Context().TasksCompleted() - baseCompleted
+	completed := rows.Stats().TasksCompleted()
 	if completed != nParts {
 		t.Fatalf("top-n cursor completed %d tasks, want %d (merge must stay incomplete)", completed, nParts)
 	}
@@ -167,9 +169,8 @@ func TestLimitStreamingEarlyTerminatesSorted(t *testing.T) {
 func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	const nRows, nParts = 400_000, 64
-	s, df := newStreamSession(t, nRows, nParts, 2)
+	_, df := newStreamSession(t, nRows, nParts, 2)
 
-	baseStarted := s.Context().TasksStarted()
 	rows, err := df.Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -180,7 +181,7 @@ func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Close waits for the workers to exit, so the counters are final.
-	started := s.Context().TasksStarted() - baseStarted
+	started := rows.Stats().TasksStarted()
 	if started >= nParts/2 {
 		t.Fatalf("%d of %d partition tasks started despite early Close (want far fewer)", started, nParts)
 	}
@@ -194,7 +195,7 @@ func TestCursorCloseCancelsRemainingTasks(t *testing.T) {
 func TestQueryContextCancelMidStream(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	const nRows, nParts = 400_000, 64
-	s, df := newStreamSession(t, nRows, nParts, 2)
+	_, df := newStreamSession(t, nRows, nParts, 2)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	rows, err := df.Query(ctx)
@@ -205,7 +206,7 @@ func TestQueryContextCancelMidStream(t *testing.T) {
 	if !rows.Next() {
 		t.Fatalf("no first row: %v", rows.Err())
 	}
-	baseStarted := s.Context().TasksStarted()
+	baseStarted := rows.Stats().TasksStarted()
 	cancel()
 	// Drain until the cancellation lands (buffered partitions may still
 	// deliver a bounded number of rows).
@@ -214,7 +215,7 @@ func TestQueryContextCancelMidStream(t *testing.T) {
 	if err := rows.Err(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Err = %v, want context.Canceled", err)
 	}
-	if started := s.Context().TasksStarted() - baseStarted; started > nParts/2 {
+	if started := rows.Stats().TasksStarted() - baseStarted; started > nParts/2 {
 		t.Fatalf("%d tasks started after cancel", started)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/physical"
 	"indexeddf/internal/plan"
 	"indexeddf/internal/rdd"
@@ -45,6 +46,17 @@ type Rows struct {
 	// stopping the partition tasks a gather-based global limit would have
 	// launched anyway.
 	remaining int64
+
+	// Observability: qs is nil when Config.DisableObservability is set
+	// (every recording below then vanishes); sess/ec/exec let shutdown
+	// settle registry counters and render the annotated plan.
+	sess      *Session
+	qs        *obs.QueryStats
+	ec        *physical.ExecContext
+	exec      physical.Exec
+	start     time.Time
+	delivered int64
+	sawRow    bool
 }
 
 // Schema returns the result schema.
@@ -74,8 +86,38 @@ func (r *Rows) Next() bool {
 	if r.remaining > 0 {
 		r.remaining--
 	}
+	r.delivered++
+	if !r.sawRow {
+		r.sawRow = true
+		r.qs.Event("first row", -1, time.Since(r.start))
+	}
 	r.row = row
 	return true
+}
+
+// Stats returns the query's recorded runtime stats — per-operator actuals,
+// task counts, shuffle bytes, memory peak. Nil when the session was built
+// with Config.DisableObservability. Totals settle when the cursor closes;
+// reading mid-stream sees live (partial) counts.
+func (r *Rows) Stats() *obs.QueryStats { return r.qs }
+
+// AnalyzeString renders the physical plan annotated with this execution's
+// actuals (EXPLAIN ANALYZE's body) plus a query-level summary footer.
+// Meaningful after the cursor is drained or closed; "" when observability
+// is disabled.
+func (r *Rows) AnalyzeString() string {
+	if r.qs == nil {
+		return ""
+	}
+	return r.analyzePlan() + r.qs.String()
+}
+
+// analyzePlan renders the annotated operator tree only.
+func (r *Rows) analyzePlan() string {
+	if r.ec == nil || r.exec == nil {
+		return ""
+	}
+	return r.ec.AnalyzeString(r.exec)
 }
 
 // Row returns the current row (valid after a true Next).
@@ -124,6 +166,11 @@ func (r *Rows) shutdown() {
 	r.closed = true
 	r.row = nil
 	r.stream.Close()
+	// Settle stats before the tracker closes: the memory peak is read off
+	// the live tracker.
+	if r.sess != nil {
+		r.sess.finishQuery(r)
+	}
 	// Close after the stream: stopped tasks release their charges first,
 	// then the tracker returns the query's whole grant to the engine pool.
 	r.mem.Close()
@@ -229,6 +276,12 @@ func nativeValue(v sqltypes.Value) any {
 // ctx, applying the session's QueryTimeout when the caller set no
 // deadline of its own.
 func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, error) {
+	return s.queryExecMeta(ctx, exec, queryMeta{})
+}
+
+// queryExecMeta is queryExec carrying entry-point context (statement text,
+// parse/plan timings, plan-cache outcome) into the query's stats.
+func (s *Session) queryExecMeta(ctx context.Context, exec physical.Exec, meta queryMeta) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -238,19 +291,35 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		}
 	}
+	// One query id serves both accounting domains: the memory tracker and
+	// the stats object (which also labels the query's pprof samples).
+	queryID := s.mem.NextQueryID()
+	s.qStarted.Inc()
+	var qs *obs.QueryStats
+	if !s.cfg.DisableObservability || meta.force {
+		qs = obs.NewQueryStats(queryID, meta.sql, s.tracer)
+		qs.ParseNs, qs.PlanNs, qs.CacheHit = meta.parseNs, meta.planNs, meta.cacheHit
+		ctx = obs.WithQuery(ctx, qs)
+		if meta.cacheHit {
+			qs.Event("plan cache hit", -1, 0)
+		} else {
+			qs.Event("plan", -1, time.Duration(meta.parseNs+meta.planNs))
+		}
+	}
 	// Memory budget: refuse admission while the engine pool is saturated,
 	// then give the query its own tracker — every operator that buffers
 	// state reserves against it and the whole grant returns on shutdown.
 	var tracker *memory.Tracker
 	if s.mem.Limit() > 0 || s.cfg.QueryMemoryLimit > 0 {
-		query := s.mem.NextQueryID()
-		if err := s.mem.Admit(query); err != nil {
+		if err := s.mem.Admit(queryID); err != nil {
 			if cancel != nil {
 				cancel()
 			}
+			s.qDone.Inc()
+			s.qFailed.Inc()
 			return nil, err
 		}
-		tracker = s.mem.NewTracker(query, s.cfg.QueryMemoryLimit)
+		tracker = s.mem.NewTracker(queryID, s.cfg.QueryMemoryLimit)
 		ctx = memory.WithTracker(ctx, tracker)
 	}
 	fail := func(err error) (*Rows, error) {
@@ -258,18 +327,24 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 		if cancel != nil {
 			cancel()
 		}
+		s.qDone.Inc()
+		s.qFailed.Inc()
 		return nil, err
 	}
 	ec := physical.NewExecContextCtx(ctx, s.ctx)
+	ec.Query = qs
 	var (
 		r     rdd.RDD
 		err   error
 		limit int64 = -1
 	)
-	if lim, ok := exec.(*physical.LimitExec); ok {
+	if lim, ok := exec.(*physical.LimitExec); ok && !meta.force {
 		// A root LIMIT streams its local-limit stage and truncates at the
 		// cursor, early-terminating the remaining partition tasks once n
 		// rows are delivered instead of gathering every partition first.
+		// EXPLAIN ANALYZE (meta.force) takes the full global-limit plan
+		// instead: truncating at the cursor abandons operator iterators
+		// mid-stream, losing their buffered counts.
 		limit = lim.N
 		r, err = lim.ExecuteStreaming(ec)
 	} else {
@@ -278,14 +353,16 @@ func (s *Session) queryExec(ctx context.Context, exec physical.Exec) (*Rows, err
 	if err != nil {
 		return fail(err)
 	}
-	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel, mem: tracker, remaining: limit}, nil
+	return &Rows{schema: exec.Schema(), stream: s.ctx.StreamJob(ctx, r), cancel: cancel, mem: tracker,
+		remaining: limit, sess: s, qs: qs, ec: ec, exec: exec, start: time.Now()}, nil
 }
 
 // queryNode compiles a logical plan and starts it as a cursor.
 func (s *Session) queryNode(ctx context.Context, n plan.Node) (*Rows, error) {
+	t0 := time.Now()
 	exec, err := s.compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return s.queryExec(ctx, exec)
+	return s.queryExecMeta(ctx, exec, queryMeta{planNs: time.Since(t0).Nanoseconds()})
 }

@@ -21,6 +21,7 @@ import (
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
 	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
 	"indexeddf/internal/opt"
 	"indexeddf/internal/physical"
 	"indexeddf/internal/plan"
@@ -72,6 +73,24 @@ type Config struct {
 	// QueryMemoryLimit bounds each individual query's share of the above
 	// (zero = only the engine limit applies).
 	QueryMemoryLimit int64
+	// DisableObservability turns off per-query instrumentation: no operator
+	// stats, no trace events, no EXPLAIN ANALYZE annotations (the statement
+	// still runs, producing a plan without actuals). The metrics registry
+	// stays available — engine-global counters (tasks, shuffle bytes, plan
+	// cache) cost nothing extra. When disabled, operators receive nil stat
+	// handles and their recording paths collapse to the untouched iterators.
+	DisableObservability bool
+	// TraceCapacity bounds the session's query-trace ring buffer in events
+	// (default obs.DefaultTraceCapacity). Oldest events are overwritten.
+	TraceCapacity int
+	// SlowQueryThreshold, when positive, marks any query whose wall time
+	// meets or exceeds it as slow: SlowQueryLog fires with the finished
+	// query's annotated plan and indexeddf_queries_slow_total increments.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives each slow query (see SlowQueryThreshold). Called
+	// synchronously from the cursor's shutdown path — keep it fast, or hand
+	// off to a channel. Ignored when SlowQueryThreshold is zero.
+	SlowQueryLog func(SlowQuery)
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +117,20 @@ type Session struct {
 	plans *planCache
 	mem   *memory.Pool
 
+	// Observability: the metrics registry is always present (engine-global
+	// counters are free); the tracer and per-query stats are nil when
+	// Config.DisableObservability is set.
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	qStarted *obs.Counter
+	qDone    *obs.Counter
+	qFailed  *obs.Counter
+	qSlow    *obs.Counter
+	qRows    *obs.Counter
+	qDur     *obs.Histogram
+	ingBatch *obs.Counter
+	ingRows  *obs.Counter
+
 	// ddl serializes multi-step catalog operations (dropping a table and
 	// its dependent views, creating a view over a base table) so a view
 	// cannot be registered over a base that a concurrent DropTable is
@@ -118,7 +151,7 @@ func NewSession(cfg Config) *Session {
 	}
 	views := catalog.NewViewRegistry()
 	pool := memory.NewPool(cfg.MemoryLimit)
-	return &Session{
+	s := &Session{
 		cfg: cfg,
 		mem: pool,
 		ctx: rdd.NewContext(ctxOpts...),
@@ -133,6 +166,8 @@ func NewSession(cfg Config) *Session {
 		plans:  newPlanCache(cfg.PlanCacheSize, pool),
 		tables: make(map[string]catalog.Table),
 	}
+	s.initObservability()
+	return s
 }
 
 // Context exposes the underlying RDD context (benchmarks use it).

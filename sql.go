@@ -3,6 +3,8 @@ package indexeddf
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"indexeddf/internal/plan"
 	"indexeddf/internal/sqlparser"
@@ -39,6 +41,24 @@ func (s *Session) SQL(query string) (*DataFrame, error) {
 	switch stmt.Kind {
 	case sqlparser.StmtSelect:
 		return s.frame(stmt.Select), nil
+	case sqlparser.StmtExplain:
+		if stmt.NumParams > 0 {
+			return nil, fmt.Errorf("indexeddf: EXPLAIN does not support parameter placeholders")
+		}
+		df := s.frame(stmt.Select)
+		var text string
+		var err error
+		if stmt.Analyze {
+			// EXPLAIN ANALYZE executes eagerly: the statement runs to
+			// completion here and the rendered plan carries its actuals.
+			text, err = df.ExplainAnalyze(context.Background())
+		} else {
+			text, err = df.Explain()
+		}
+		if err != nil {
+			return nil, err
+		}
+		return s.textFrame("plan", text), nil
 	case sqlparser.StmtCreateView:
 		if _, err := s.createMaterializedView(stmt.ViewName, stmt.ViewSQL, stmt.Select); err != nil {
 			return nil, err
@@ -66,6 +86,18 @@ func (s *Session) statusFrame(msg string) *DataFrame {
 	return s.frame(plan.NewValues(schema, rows))
 }
 
+// textFrame wraps multi-line text (a rendered plan) as a DataFrame with one
+// row per line.
+func (s *Session) textFrame(col, text string) *DataFrame {
+	schema := sqltypes.NewSchema(sqltypes.Field{Name: col, Type: sqltypes.String})
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	rows := make([]sqltypes.Row, len(lines))
+	for i, line := range lines {
+		rows[i] = sqltypes.Row{sqltypes.NewString(line)}
+	}
+	return s.frame(plan.NewValues(schema, rows))
+}
+
 // MustSQL is SQL, panicking on parse errors (examples and tests).
 func (s *Session) MustSQL(query string) *DataFrame {
 	df, err := s.SQL(query)
@@ -80,9 +112,17 @@ func (s *Session) MustSQL(query string) *DataFrame {
 // client expects. For repeated parameterized statements use Prepare, which
 // also skips compilation.
 func (s *Session) Query(ctx context.Context, query string) (*Rows, error) {
+	t0 := time.Now()
 	df, err := s.SQL(query)
 	if err != nil {
 		return nil, err
 	}
-	return df.Query(ctx)
+	parseNs := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	exec, err := s.compile(df.node)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryExecMeta(ctx, exec, queryMeta{
+		sql: query, parseNs: parseNs, planNs: time.Since(t1).Nanoseconds()})
 }

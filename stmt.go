@@ -41,42 +41,46 @@ func (s *Session) Prepare(query string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.prepareEntry(key); err != nil {
+	if _, _, err := s.prepareEntry(key); err != nil {
 		return nil, err
 	}
 	return &Stmt{sess: s, sql: key}, nil
 }
 
-// prepareEntry returns the cached compiled plan for the normalized key,
-// compiling and caching it on a miss. The normalized text is itself valid
-// SQL, so recompilation after a cache purge parses it directly. The insert
-// is generation-guarded: if a DDL purge lands while this compile is in
-// flight, the freshly compiled (now possibly stale) plan is returned to
-// this caller but not cached, so it cannot outlive the purge.
-func (s *Session) prepareEntry(key string) (*planEntry, error) {
+// prepareEntry returns the cached compiled plan for the normalized key
+// (hit reports whether the cache answered), compiling and caching it on a
+// miss. The normalized text is itself valid SQL, so recompilation after a
+// cache purge parses it directly. The insert is generation-guarded: if a
+// DDL purge lands while this compile is in flight, the freshly compiled
+// (now possibly stale) plan is returned to this caller but not cached, so
+// it cannot outlive the purge.
+func (s *Session) prepareEntry(key string) (ent *planEntry, hit bool, err error) {
 	ent, gen, ok := s.plans.getGen(key)
 	if ok {
-		return ent, nil
+		return ent, true, nil
 	}
 	stmt, err := sqlparser.ParseStatement(key, s.resolveTable)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if stmt.Kind != sqlparser.StmtSelect {
-		return nil, fmt.Errorf("indexeddf: only SELECT statements can be prepared")
+		return nil, false, fmt.Errorf("indexeddf: only SELECT statements can be prepared")
 	}
 	exec, err := s.compile(stmt.Select)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ent = &planEntry{exec: exec, schema: exec.Schema(), numParams: stmt.NumParams,
 		tables: physical.ReferencedTables(exec)}
 	s.plans.putAt(key, ent, gen)
-	return ent, nil
+	return ent, false, nil
 }
 
 // entry resolves the statement's current compiled plan.
-func (st *Stmt) entry() (*planEntry, error) { return st.sess.prepareEntry(st.sql) }
+func (st *Stmt) entry() (*planEntry, error) {
+	ent, _, err := st.sess.prepareEntry(st.sql)
+	return ent, err
+}
 
 // SQLText returns the statement's normalized text.
 func (st *Stmt) SQLText() string { return st.sql }
@@ -104,7 +108,8 @@ func (st *Stmt) Schema() *sqltypes.Schema {
 // lexical order) and returns a streaming cursor. The cached physical plan
 // is reused as-is; only parameter-bearing fragments are rebuilt.
 func (st *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
-	ent, err := st.entry()
+	t0 := time.Now()
+	ent, hit, err := st.sess.prepareEntry(st.sql)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +117,8 @@ func (st *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.sess.queryExec(ctx, exec)
+	return st.sess.queryExecMeta(ctx, exec, queryMeta{
+		sql: st.sql, cacheHit: hit, planNs: time.Since(t0).Nanoseconds()})
 }
 
 // Collect executes the statement and materializes every row — Query plus a
@@ -303,6 +309,12 @@ func (c *planCache) stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
 }
 
 // PlanCacheStats reports the session plan cache's hit/miss counters

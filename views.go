@@ -210,5 +210,7 @@ func (s *Session) ingestBatch(t catalog.Table, tableName string, rows []sqltypes
 	default:
 		return 0, fmt.Errorf("indexeddf: table %q (%T) cannot ingest streams", tableName, t)
 	}
+	s.ingBatch.Inc()
+	s.ingRows.Add(int64(len(rows)))
 	return int64(len(rows)), s.refreshViewsOf(t)
 }
