@@ -10,6 +10,7 @@
 //	benchrunner -fig sort     batch sort & fused top-n vs row sort, 1M-row ORDER BY
 //	benchrunner -fig memacct  memory-accounting overhead — budgets on vs off
 //	benchrunner -fig obs      observability overhead — stats on vs off
+//	benchrunner -fig spill    out-of-core execution — 10x-over-budget sort & GROUP BY vs unconstrained
 //	benchrunner -fig all      everything plus the max-speedup summary (§5)
 //
 // Flags -sf, -seed and -iters scale the run; -rowengine forces
@@ -63,6 +64,7 @@ type report struct {
 	Sort      *bench.SortReport    `json:"sort,omitempty"`
 	MemAcct   *bench.MemAcctReport `json:"memacct,omitempty"`
 	Obs       *bench.ObsReport     `json:"obs,omitempty"`
+	Spill     *bench.SpillReport   `json:"spill,omitempty"`
 }
 
 type measurementJSON struct {
@@ -220,6 +222,19 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+	case "spill":
+		r, err := spillOutOfCore(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "spill"
+			rep.Spill = &r
+			if err := writeJSON(jsonPath, rep); err != nil {
+				return err
+			}
+		}
 	case "all":
 		m2, err := figure2(sf, seed, iters, rowEngine)
 		if err != nil {
@@ -304,12 +319,24 @@ func run(fig string, sf float64, seed int64, iters int, rowEngine bool, jsonPath
 				return err
 			}
 		}
+		sp, err := spillOutOfCore(iters)
+		if err != nil {
+			return err
+		}
+		if jsonPath != "" {
+			rep := base
+			rep.Figure = "spill"
+			rep.Spill = &sp
+			if err := writeJSON(jsonName(jsonPath, "spill", true), rep); err != nil {
+				return err
+			}
+		}
 		// The §5 summary below compares IndexedDF vs vanilla Spark; the
 		// view measurements compare maintenance strategies, so they stay
 		// out of it.
 		all = append(m2, m3...)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort, memacct, obs or all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, mem, view, prepare, shuffle, sort, memacct, obs, spill or all)", fig)
 	}
 	if fig == "all" {
 		best := bench.Measurement{}
@@ -391,6 +418,27 @@ func obsOverhead(iters int) (bench.ObsReport, error) {
 	fmt.Fprintf(w, "off\t%.2f\t%.1f\t\n", msf(r.BareTime), float64(r.BareAllocs)/(1<<20))
 	w.Flush()
 	fmt.Printf("observability overhead: %.2fx wall (%d result rows)\n", r.Overhead(), r.ResultRows)
+	fmt.Println(strings.Repeat("-", 56))
+	return r, nil
+}
+
+func spillOutOfCore(iters int) (bench.SpillReport, error) {
+	const rows, groups, budget = 200_000, 3_000, int64(2 << 20)
+	fmt.Printf("\n== Out-of-core execution: %dk-row sort & shuffle GROUP BY, ~10x over a %d MiB budget vs unconstrained ==\n",
+		rows/1000, budget>>20)
+	r, err := bench.SpillPipeline(rows, groups, budget, iters)
+	if err != nil {
+		return bench.SpillReport{}, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "workload\tspill [ms]\tin-mem [ms]\tslowdown\truns\tspilled [MB]\t")
+	fmt.Fprintf(w, "ORDER BY (external sort)\t%.2f\t%.2f\t%.2fx\t%d\t%.1f\t\n",
+		msf(r.SortSpill), msf(r.SortInMem), r.SortSlowdown(), r.SortRuns, float64(r.SortBytes)/(1<<20))
+	fmt.Fprintf(w, "GROUP BY (spilled shuffle)\t%.2f\t%.2f\t%.2fx\t%d\t%.1f\t\n",
+		msf(r.AggSpill), msf(r.AggInMem), r.AggSlowdown(), r.AggRuns, float64(r.AggBytes)/(1<<20))
+	w.Flush()
+	fmt.Printf("out-of-core: sort %.2fx, group-by %.2fx of in-memory wall time (%d / %d result rows)\n",
+		r.SortSlowdown(), r.AggSlowdown(), r.SortResultRows, r.AggResultRows)
 	fmt.Println(strings.Repeat("-", 56))
 	return r, nil
 }

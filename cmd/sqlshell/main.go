@@ -39,16 +39,26 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "session-wide query timeout (0 = none)")
 	maxRows := flag.Int("maxrows", 1000, "rows to display per query (0 = unlimited); counting continues past the cap")
 	slow := flag.Duration("slow", 500*time.Millisecond, "slow-query warning threshold (0 = off)")
+	memLimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes (0 = unbounded)")
+	spillDir := flag.String("spilldir", "", "directory for out-of-core run files (enables spilling for budgeted queries)")
 	flag.Parse()
 
 	sess := indexeddf.NewSession(indexeddf.Config{
 		QueryTimeout:       *timeout,
+		QueryMemoryLimit:   *memLimit,
+		SpillDir:           *spillDir,
 		SlowQueryThreshold: *slow,
 		SlowQueryLog: func(q indexeddf.SlowQuery) {
-			fmt.Printf("!! slow query [%s]: %d rows in %v (threshold %v)\n",
-				q.ID, q.Rows, q.Duration.Round(time.Millisecond), *slow)
+			spilled := ""
+			if q.Stats != nil && q.Stats.SpillRuns() > 0 {
+				spilled = fmt.Sprintf(", spilled %s/%d runs",
+					indexeddf.FormatBytes(q.Stats.SpillBytes()), q.Stats.SpillRuns())
+			}
+			fmt.Printf("!! slow query [%s]: %d rows in %v (threshold %v%s)\n",
+				q.ID, q.Rows, q.Duration.Round(time.Millisecond), *slow, spilled)
 		},
 	})
+	defer sess.Close()
 	d := snb.Generate(snb.Config{ScaleFactor: *sf, Seed: *seed})
 	if _, err := snb.Load(sess, d, *indexed); err != nil {
 		log.Fatal(err)
@@ -181,10 +191,11 @@ func runQuery(sess *indexeddf.Session, sigc <-chan os.Signal, query string, maxR
 	if timing {
 		rows.Close() // settle totals before reading them
 		if qs := rows.Stats(); qs != nil {
-			fmt.Printf("timing: parse %v, plan %v (cache hit: %v), total %v; tasks %d, shuffle %s, mem peak %s\n",
+			fmt.Printf("timing: parse %v, plan %v (cache hit: %v), total %v; tasks %d, shuffle %s, mem peak %s, spilled %s/%d runs\n",
 				time.Duration(qs.ParseNs), time.Duration(qs.PlanNs), qs.CacheHit,
 				time.Duration(qs.TotalNs()), qs.TasksCompleted(),
-				indexeddf.FormatBytes(qs.ShuffleBytes()), indexeddf.FormatBytes(qs.MemPeak()))
+				indexeddf.FormatBytes(qs.ShuffleBytes()), indexeddf.FormatBytes(qs.MemPeak()),
+				indexeddf.FormatBytes(qs.SpillBytes()), qs.SpillRuns())
 		}
 	}
 }

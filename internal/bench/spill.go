@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"indexeddf"
+)
+
+// SpillReport quantifies what going out of core costs: the same full-sort
+// and shuffle GROUP BY pipelines run unconstrained in memory and under a
+// budget roughly a tenth of the working set with a SpillDir, forcing the
+// spill fabric to carry the difference. The gate tracks both paths — the
+// in-memory numbers pin the fast path, the spill numbers pin the run-file
+// format and the external merge.
+type SpillReport struct {
+	Rows   int   `json:"rows"`
+	Groups int   `json:"groups"`
+	Budget int64 `json:"budget_bytes"`
+
+	SortSpill       time.Duration `json:"sort_spill_ns"`
+	SortInMem       time.Duration `json:"sort_inmem_ns"`
+	SortSpillAllocs int64         `json:"sort_spill_alloc_bytes"`
+	SortInMemAllocs int64         `json:"sort_inmem_alloc_bytes"`
+	SortRuns        int64         `json:"sort_spill_runs"`
+	SortBytes       int64         `json:"sort_spill_bytes"`
+	SortResultRows  int           `json:"sort_result_rows"`
+
+	AggSpill       time.Duration `json:"agg_spill_ns"`
+	AggInMem       time.Duration `json:"agg_inmem_ns"`
+	AggSpillAllocs int64         `json:"agg_spill_alloc_bytes"`
+	AggInMemAllocs int64         `json:"agg_inmem_alloc_bytes"`
+	AggRuns        int64         `json:"agg_spill_runs"`
+	AggBytes       int64         `json:"agg_spill_bytes"`
+	AggResultRows  int           `json:"agg_result_rows"`
+}
+
+// SortSlowdown returns spill/in-memory wall time for the full sort.
+func (r SpillReport) SortSlowdown() float64 {
+	if r.SortInMem <= 0 {
+		return 0
+	}
+	return float64(r.SortSpill) / float64(r.SortInMem)
+}
+
+// AggSlowdown returns spill/in-memory wall time for the shuffle GROUP BY.
+func (r SpillReport) AggSlowdown() float64 {
+	if r.AggInMem <= 0 {
+		return 0
+	}
+	return float64(r.AggSpill) / float64(r.AggInMem)
+}
+
+// SpillPipeline measures a full ORDER BY and a shuffle GROUP BY over rows
+// rows (fat string payloads, groups distinct keys) twice: unconstrained,
+// and under budget bytes with spilling enabled. Both runs must agree on
+// the result cardinality and the constrained run must actually spill.
+func SpillPipeline(rows, groups int, budget int64, iters int) (SpillReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	dir, err := os.MkdirTemp("", "indexeddf-bench-spill")
+	if err != nil {
+		return SpillReport{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Many narrow table partitions keep the unspillable per-task aggregate
+	// tables small while multiplying the shuffled partial results the
+	// fabric has to absorb.
+	base := indexeddf.Config{TablePartitions: 64, ShufflePartitions: 4, Parallelism: 2}
+	mk := func(constrained bool) (*indexeddf.Session, error) {
+		cfg := base
+		if constrained {
+			cfg.QueryMemoryLimit = budget
+			cfg.SpillDir = dir
+		}
+		sess := indexeddf.NewSession(cfg)
+		schema := indexeddf.NewSchema(
+			indexeddf.Field{Name: "k", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "v", Type: indexeddf.Int64},
+			indexeddf.Field{Name: "pad", Type: indexeddf.String},
+		)
+		pad := strings.Repeat("x", 48)
+		data := make([]indexeddf.Row, rows)
+		for i := range data {
+			data[i] = indexeddf.R(int64(i%groups), int64(i), fmt.Sprintf("%s-%08d", pad, i%groups))
+		}
+		if _, err := sess.CreateTable("t", schema, data); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+
+	sortQ := "SELECT k, v, pad FROM t ORDER BY v, k"
+	aggQ := "SELECT k, COUNT(*) AS cnt, SUM(v) AS total, MIN(pad) AS p FROM t GROUP BY k"
+
+	// run drains the cursor (the sort output streams — no gather) and
+	// returns row count plus the query's spill totals.
+	run := func(sess *indexeddf.Session, q string) (int, int64, int64, error) {
+		cur, err := sess.Query(context.Background(), q)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			return 0, 0, 0, err
+		}
+		qs := cur.Stats()
+		return n, qs.SpillRuns(), qs.SpillBytes(), nil
+	}
+	measure := func(sess *indexeddf.Session, q string) (time.Duration, int64, error) {
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, _, _, err := run(sess, q); err != nil {
+				return 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		return median(times), int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters), nil
+	}
+
+	inMem, err := mk(false)
+	if err != nil {
+		return SpillReport{}, err
+	}
+	spillSess, err := mk(true)
+	if err != nil {
+		return SpillReport{}, err
+	}
+	defer spillSess.Close()
+
+	r := SpillReport{Rows: rows, Groups: groups, Budget: budget}
+	for _, w := range []struct {
+		q      string
+		runs   *int64
+		bytes  *int64
+		n      *int
+		spillT *time.Duration
+		inmemT *time.Duration
+		spillA *int64
+		inmemA *int64
+	}{
+		{sortQ, &r.SortRuns, &r.SortBytes, &r.SortResultRows, &r.SortSpill, &r.SortInMem, &r.SortSpillAllocs, &r.SortInMemAllocs},
+		{aggQ, &r.AggRuns, &r.AggBytes, &r.AggResultRows, &r.AggSpill, &r.AggInMem, &r.AggSpillAllocs, &r.AggInMemAllocs},
+	} {
+		wantN, _, _, err := run(inMem, w.q)
+		if err != nil {
+			return SpillReport{}, err
+		}
+		gotN, runs, bytes, err := run(spillSess, w.q)
+		if err != nil {
+			return SpillReport{}, err
+		}
+		if gotN != wantN {
+			return SpillReport{}, fmt.Errorf("bench: spill and in-memory runs disagree (%d vs %d rows): %s", gotN, wantN, w.q)
+		}
+		if runs == 0 {
+			return SpillReport{}, fmt.Errorf("bench: constrained run did not spill (budget %d too generous): %s", budget, w.q)
+		}
+		*w.runs, *w.bytes, *w.n = runs, bytes, wantN
+		if *w.spillT, *w.spillA, err = measure(spillSess, w.q); err != nil {
+			return SpillReport{}, err
+		}
+		if *w.inmemT, *w.inmemA, err = measure(inMem, w.q); err != nil {
+			return SpillReport{}, err
+		}
+	}
+	return r, nil
+}

@@ -39,11 +39,16 @@ const (
 	ViewRefresh Point = "view.refresh"
 	// IngestAppend fires before a stream-ingest batch is appended.
 	IngestAppend Point = "ingest.append"
+	// SpillWrite fires before a batch is serialized to a spill run file.
+	SpillWrite Point = "spill.write"
+	// SpillRead fires when a spilled run is opened and before each batch
+	// is decoded from it.
+	SpillRead Point = "spill.read"
 )
 
 // Points lists every compiled-in site (chaos tests sweep them).
 func Points() []Point {
-	return []Point{TaskStart, ShuffleWrite, ShuffleFetch, BatchSeal, ViewRefresh, IngestAppend}
+	return []Point{TaskStart, ShuffleWrite, ShuffleFetch, BatchSeal, ViewRefresh, IngestAppend, SpillWrite, SpillRead}
 }
 
 // Schedule describes what an armed point does when hit.

@@ -185,6 +185,22 @@ type Tracker struct {
 	granted int64 // bytes currently drawn from the pool (quantized >= used)
 	peak    int64
 	closed  bool
+	closers []func()    // resource cleanups (spill run files) run by Close
+	valve   func() bool // pressure valve tried before a Reserve fails
+}
+
+// SetValve registers f as the tracker's pressure valve: when a Reserve
+// would otherwise fail, f is invoked — outside the tracker's lock — to
+// free charged memory (the spill fabric evicts one of this query's sealed
+// resident runs to disk), and the reservation retries. f returns false
+// when nothing more can be freed, which lets the original error surface.
+func (t *Tracker) SetValve(f func() bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.valve = f
+	t.mu.Unlock()
 }
 
 // Query returns the tracker's query label.
@@ -197,19 +213,38 @@ func (t *Tracker) Query() string {
 
 // Reserve charges n bytes to the query under the given operator name. It
 // fails with *LimitError when the query's own limit or the engine pool
-// would be exceeded; on failure nothing is charged.
+// would be exceeded; on failure nothing is charged. A registered pressure
+// valve is tried (and the reservation retried) before failure surfaces,
+// so any operator's charge can push the query's cold state out of core.
 func (t *Tracker) Reserve(op string, n int64) error {
 	if t == nil || n <= 0 {
 		return nil
 	}
+	for {
+		err, valve := t.tryReserve(op, n)
+		if err == nil || valve == nil {
+			return err
+		}
+		// Each successful valve call freed real bytes (one run evicted),
+		// so this loop terminates: either the reservation fits or the
+		// valve runs out of victims.
+		if !valve() {
+			return err
+		}
+	}
+}
+
+// tryReserve is one locked reservation attempt; on failure it returns the
+// tracker's valve so Reserve can try freeing memory outside the lock.
+func (t *Tracker) tryReserve(op string, n int64) (error, func() bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return nil // query already tore down; its tasks are unwinding
+		return nil, nil // query already tore down; its tasks are unwinding
 	}
 	if t.limit > 0 && t.used+n > t.limit {
 		return &LimitError{Query: t.query, Operator: op, Scope: "query",
-			Requested: n, Used: t.used, Limit: t.limit}
+			Requested: n, Used: t.used, Limit: t.limit}, t.valve
 	}
 	if t.used+n > t.granted {
 		// Draw from the pool in quanta so hot per-batch reservations stay
@@ -219,7 +254,7 @@ func (t *Tracker) Reserve(op string, n int64) error {
 			need = quantum
 		}
 		if err := t.pool.reserve(t.query, op, need); err != nil {
-			return err
+			return err, t.valve
 		}
 		t.granted += need
 	}
@@ -227,7 +262,7 @@ func (t *Tracker) Reserve(op string, n int64) error {
 	if t.used > t.peak {
 		t.peak = t.used
 	}
-	return nil
+	return nil, nil
 }
 
 // Grow is Reserve under its incremental name (operators growing an
@@ -272,8 +307,28 @@ func (t *Tracker) Peak() int64 {
 	return t.peak
 }
 
-// Close ends the query's accounting, returning everything to the pool.
-// Idempotent; late Release/Reserve calls from unwinding tasks are no-ops.
+// AddCloser registers f to run when the query's accounting closes — the
+// teardown backstop for resources whose lifetime is the query's (spill run
+// files, open run readers). If the tracker is already closed, f runs
+// immediately. Nil-receiver safe: without a tracker there is no budget, so
+// budget-driven resources are never created.
+func (t *Tracker) AddCloser(f func()) {
+	if t == nil || f == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		f()
+		return
+	}
+	t.closers = append(t.closers, f)
+	t.mu.Unlock()
+}
+
+// Close ends the query's accounting, running registered closers and
+// returning everything to the pool. Idempotent; late Release/Reserve calls
+// from unwinding tasks are no-ops.
 func (t *Tracker) Close() {
 	if t == nil {
 		return
@@ -285,8 +340,12 @@ func (t *Tracker) Close() {
 	}
 	t.closed = true
 	granted := t.granted
-	t.used, t.granted = 0, 0
+	closers := t.closers
+	t.used, t.granted, t.closers = 0, 0, nil
 	t.mu.Unlock()
+	for _, f := range closers {
+		f()
+	}
 	t.pool.release(granted)
 	t.pool.active.Add(-1)
 }

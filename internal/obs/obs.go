@@ -39,6 +39,9 @@ type OpStats struct {
 	wallNs   atomic.Int64 // sampled wall time inside Next, inclusive of children
 	memBytes atomic.Int64 // bytes reserved against the query's memory tracker
 	bytes    atomic.Int64 // payload bytes moved (shuffle writes)
+
+	spillBytes atomic.Int64 // bytes written to spill run files
+	spillRuns  atomic.Int64 // runs this operator spilled to disk
 }
 
 // AddRowsIn records n input rows.
@@ -82,6 +85,36 @@ func (s *OpStats) AddBytes(n int64) {
 	if s != nil && n > 0 {
 		s.bytes.Add(n)
 	}
+}
+
+// AddSpill records out-of-core activity: bytes written to spill run files
+// and runs newly gone to disk.
+func (s *OpStats) AddSpill(bytes, runs int64) {
+	if s == nil {
+		return
+	}
+	if bytes > 0 {
+		s.spillBytes.Add(bytes)
+	}
+	if runs > 0 {
+		s.spillRuns.Add(runs)
+	}
+}
+
+// SpillBytes returns the bytes this operator wrote to spill files.
+func (s *OpStats) SpillBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.spillBytes.Load()
+}
+
+// SpillRuns returns the number of runs this operator spilled to disk.
+func (s *OpStats) SpillRuns() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.spillRuns.Load()
 }
 
 // RowsIn returns the input-row count (filters only).
@@ -167,6 +200,8 @@ type QueryStats struct {
 	shuffleBytes   atomic.Int64
 	rowsOut        atomic.Int64
 	memPeak        atomic.Int64
+	spillBytes     atomic.Int64
+	spillRuns      atomic.Int64
 
 	tracer *Tracer
 
@@ -223,6 +258,36 @@ func (q *QueryStats) AddShuffleBytes(n int64) {
 	if q != nil && n > 0 {
 		q.shuffleBytes.Add(n)
 	}
+}
+
+// AddSpill records out-of-core activity query-wide: bytes written to spill
+// run files and runs newly gone to disk.
+func (q *QueryStats) AddSpill(bytes, runs int64) {
+	if q == nil {
+		return
+	}
+	if bytes > 0 {
+		q.spillBytes.Add(bytes)
+	}
+	if runs > 0 {
+		q.spillRuns.Add(runs)
+	}
+}
+
+// SpillBytes returns the bytes the query wrote to spill files.
+func (q *QueryStats) SpillBytes() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillBytes.Load()
+}
+
+// SpillRuns returns the number of runs the query spilled to disk.
+func (q *QueryStats) SpillRuns() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillRuns.Load()
 }
 
 // AddRowsReturned counts rows delivered to the client cursor.
@@ -322,9 +387,13 @@ func (q *QueryStats) String() string {
 	if q == nil {
 		return "<no stats>"
 	}
-	return fmt.Sprintf("%s: rows=%d tasks=%d/%d shuffle=%s mem=%s parse=%s plan=%s total=%s",
+	spill := ""
+	if n := q.SpillRuns(); n > 0 {
+		spill = fmt.Sprintf(" spill=%s/%d runs", FormatBytes(q.SpillBytes()), n)
+	}
+	return fmt.Sprintf("%s: rows=%d tasks=%d/%d shuffle=%s mem=%s%s parse=%s plan=%s total=%s",
 		q.ID, q.RowsReturned(), q.TasksCompleted(), q.TasksStarted(),
-		FormatBytes(q.ShuffleBytes()), FormatBytes(q.MemPeak()),
+		FormatBytes(q.ShuffleBytes()), FormatBytes(q.MemPeak()), spill,
 		time.Duration(q.ParseNs), time.Duration(q.PlanNs), time.Duration(q.TotalNs()))
 }
 

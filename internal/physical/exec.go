@@ -141,6 +141,9 @@ func (ec *ExecContext) AnalyzeString(root Exec) string {
 			if by := st.Bytes(); by > 0 {
 				fmt.Fprintf(&sb, " bytes=%s", obs.FormatBytes(by))
 			}
+			if runs := st.SpillRuns(); runs > 0 {
+				fmt.Fprintf(&sb, " spill=%s/%d runs", obs.FormatBytes(st.SpillBytes()), runs)
+			}
 			sb.WriteByte(')')
 		}
 		sb.WriteByte('\n')

@@ -5,6 +5,7 @@ import (
 
 	"indexeddf/internal/columnar"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
 	"indexeddf/internal/sqltypes"
@@ -198,7 +199,11 @@ func (h *VecHashAggExec) aggregate(tc *rdd.TaskContext, in vector.BatchIter, gro
 			charged = nw
 		}
 	}
-	return h.render(order)
+	out, err := h.render(order)
+	if err != nil {
+		return nil, err
+	}
+	return releaseOnDrain(out, mem, int64(charged)*perGroup), nil
 }
 
 // mergeFinal is the post-exchange merge phase: each input batch carries
@@ -275,7 +280,38 @@ func (h *VecHashAggExec) mergeFinal(tc *rdd.TaskContext, in vector.BatchIter, in
 			charged = nw
 		}
 	}
-	return h.render(order)
+	out, err := h.render(order)
+	if err != nil {
+		return nil, err
+	}
+	return releaseOnDrain(out, mem, int64(charged)*perGroup), nil
+}
+
+// releaseOnDrain returns the group table's charge once the rendered output
+// has been fully consumed. The table dies with its task, but the tracker
+// lives for the whole query — without this, every finished map task of a
+// many-partition GROUP BY would keep its dead table charged, starving the
+// budget that later tasks (and the spill fabric) reserve against.
+func releaseOnDrain(in vector.BatchIter, mem *memory.Tracker, bytes int64) vector.BatchIter {
+	if bytes <= 0 {
+		return in
+	}
+	return &drainReleaseIter{in: in, mem: mem, bytes: bytes}
+}
+
+type drainReleaseIter struct {
+	in    vector.BatchIter
+	mem   *memory.Tracker
+	bytes int64
+}
+
+func (r *drainReleaseIter) Next() (*vector.Batch, error) {
+	b, err := r.in.Next()
+	if b == nil && err == nil && r.bytes > 0 {
+		r.mem.Release(r.bytes)
+		r.bytes = 0
+	}
+	return b, err
 }
 
 // mergeAccCols folds row i of an accumulator batch into g — the columnar

@@ -84,6 +84,45 @@ func compileResidual(residual expr.Expr) (*expr.VecExpr, error) {
 	return ve, nil
 }
 
+// buildHashTableFromBatches streams the build side into the hash table
+// batch-at-a-time, so a spilled build input feeds construction straight
+// from its run reader instead of rematerializing as one row slice. Rows
+// are materialized per insert (the table retains them; the source batch
+// is owned by its iterator and reused).
+func buildHashTableFromBatches(in vector.BatchIter, keys []int, st *obs.OpStats) (joinTable, error) {
+	ht := joinTable{m: make(map[string]*joinBucket)}
+	var buf []byte
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return joinTable{}, err
+		}
+		if b == nil {
+			return ht, nil
+		}
+		st.AddRowsIn(int64(b.Len()))
+		n := b.Len()
+	rows:
+		for i := 0; i < n; i++ {
+			for _, k := range keys {
+				if b.Cols[k].IsNull(i) {
+					continue rows // null keys never join
+				}
+			}
+			buf = buf[:0]
+			for _, k := range keys {
+				buf = AppendValueKey(buf, b.Cols[k].Get(i))
+			}
+			bk := ht.m[string(buf)]
+			if bk == nil {
+				bk = &joinBucket{}
+				ht.m[string(buf)] = bk
+			}
+			bk.rows = append(bk.rows, b.Row(i))
+		}
+	}
+}
+
 // vecProbeIter joins stream batches against a build-side hash table.
 type vecProbeIter struct {
 	in            vector.BatchIter
@@ -246,16 +285,16 @@ func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	ls := ec.RDD.NewBatchShuffledRDD(left, j.Left.Schema(), j.LeftKeys, j.NumPartitions)
 	rs := ec.RDD.NewBatchShuffledRDD(right, j.Right.Schema(), j.RightKeys, j.NumPartitions)
 	leftSchema := j.Left.Schema()
+	rightSchema := j.Right.Schema()
 	outSchema := j.Schema()
 	lKeys, rKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
 	st := ec.Stats(j)
 	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
-		rrows, err := sqltypes.Drain(rit)
+		ht, err := buildHashTableFromBatches(
+			vector.AsBatchIter(rit, rightSchema, vector.DefaultBatchSize), rKeys, st)
 		if err != nil {
 			return nil, err
 		}
-		st.AddRowsIn(int64(len(rrows)))
-		ht := buildHashTable(rrows, rKeys)
 		res, err := compileResidual(residual)
 		if err != nil {
 			return nil, err

@@ -1,13 +1,16 @@
 package physical
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"indexeddf/internal/columnar"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
+	"indexeddf/internal/spill"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
 )
@@ -122,6 +125,13 @@ func evalKeys(exprs []*expr.VecExpr, b *vector.Batch) ([]*columnar.Vector, error
 // them), extracting sort keys into typed lanes as they stream past, then
 // sorts the index permutation and serves the run as lazily gathered
 // output batches.
+//
+// With out-of-core execution available and a budget in force, the buffer
+// becomes a sequence of chunks: when the tracker refuses the next batch,
+// the current chunk is sorted and streamed to a spill run file, its memory
+// freed, and accumulation restarts. The output is then a k-way merge of
+// the spilled sorted runs plus the final resident chunk — exactly the
+// single-chunk path when nothing spilled.
 func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Schema,
 	orders []SortOrder, st *obs.OpStats) (vector.BatchIter, error) {
 	keyExprs, keyTypes, desc, err := sortKeys(orders)
@@ -129,9 +139,54 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		return nil, err
 	}
 	mem := tc.Mem()
+	sp := tc.Ctx.SpillManager()
+	external := sp.Enabled() && mem != nil
+	qs := obs.FromContext(tc.Cancellation())
 	lanes := vector.NewKeyLanes(keyTypes)
 	buf := vector.NewBatchBuilder(schema, vector.DefaultBatchSize)
-	var laneCharged int64
+	var laneCharged, chunkCharged int64
+	var spilled []*spill.Run
+
+	// finishChunk sorts the buffered chunk, streams it to a sealed spill
+	// run, and frees the chunk's memory. The permutation's bytes were
+	// pre-charged per row (external mode charges 8 B/row alongside each
+	// batch), so sorting needs no new budget here.
+	finishChunk := func() error {
+		sealed := buf.Seal()
+		if lanes.Len() == 0 {
+			return nil
+		}
+		idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
+		if err != nil {
+			return err
+		}
+		run := sp.NewRun("VecSort", schema, mem, st, qs)
+		if err := run.SpillNow(); err != nil {
+			return err
+		}
+		it := &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)}
+		for {
+			b, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			if err := run.Append(b); err != nil {
+				return err
+			}
+		}
+		if err := run.Seal(); err != nil {
+			return err
+		}
+		spilled = append(spilled, run)
+		mem.Release(chunkCharged)
+		chunkCharged, laneCharged = 0, 0
+		lanes = vector.NewKeyLanes(keyTypes)
+		return nil
+	}
+
 	for {
 		if err := tc.Err(); err != nil {
 			return nil, err
@@ -151,29 +206,62 @@ func sortPartition(tc *rdd.TaskContext, in vector.BatchIter, schema *sqltypes.Sc
 		lanes.AppendCols(keys)
 		buf.Append(b)
 		// Charge the run buffer as it grows: the buffered copy of the
-		// producer-reused batch plus the key-lane delta.
-		if err := mem.Reserve("VecSort", b.MemBytes()); err != nil {
-			return nil, err
-		}
-		st.AddMem(b.MemBytes())
+		// producer-reused batch plus the key-lane delta (plus, out-of-core,
+		// the permutation's 8 B/row so the chunk sort is pre-funded).
+		need := b.MemBytes()
 		if cur := lanes.MemBytes(); cur > laneCharged {
-			if err := mem.Reserve("VecSort", cur-laneCharged); err != nil {
-				return nil, err
-			}
-			st.AddMem(cur - laneCharged)
+			need += cur - laneCharged
 			laneCharged = cur
 		}
+		if external {
+			need += int64(b.Len()) * 8
+		}
+		if rerr := mem.Reserve("VecSort", need); rerr != nil {
+			if !external || !errors.Is(rerr, memory.ErrMemoryExceeded) {
+				return nil, rerr
+			}
+			// Budget refused: the chunk (including this batch, whose bytes
+			// were never charged) goes to disk and accumulation restarts.
+			if err := finishChunk(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		chunkCharged += need
+		st.AddMem(need)
 	}
 	sealed := buf.Seal()
-	if err := mem.Reserve("VecSort", int64(lanes.Len())*8); err != nil {
-		return nil, err
+	if len(spilled) == 0 && !external {
+		if err := mem.Reserve("VecSort", int64(lanes.Len())*8); err != nil {
+			return nil, err
+		}
+		st.AddMem(int64(lanes.Len()) * 8)
 	}
-	st.AddMem(int64(lanes.Len()) * 8)
-	idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
-	if err != nil {
-		return nil, err
+	if len(spilled) == 0 {
+		idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
+		if err != nil {
+			return nil, err
+		}
+		return &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)}, nil
 	}
-	return &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)}, nil
+	// External merge: spilled sorted runs stream back from disk (each
+	// deleting its file once exhausted), the final chunk stays resident.
+	ins := make([]vector.BatchIter, 0, len(spilled)+1)
+	for _, run := range spilled {
+		it, err := run.Open(tc.Err, true)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, it)
+	}
+	if lanes.Len() > 0 {
+		idx, err := vector.SortIndicesInterruptible(lanes, desc, tc.Err)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, &sortedRunIter{tc: tc, src: sealed, idx: idx, out: vector.NewBatch(schema)})
+	}
+	return newRunMerge(tc, schema, orders, ins, -1)
 }
 
 // sortedRunIter gathers the sorted permutation one output batch at a time

@@ -11,6 +11,7 @@ import (
 	"indexeddf/internal/faultpoint"
 	"indexeddf/internal/memory"
 	"indexeddf/internal/obs"
+	"indexeddf/internal/spill"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/storage"
 	"indexeddf/internal/vector"
@@ -23,6 +24,7 @@ type Context struct {
 	shuffleID   atomic.Int64
 	parallelism int
 	shuffles    *ShuffleManager
+	spill       *spill.Manager // nil = out-of-core execution disabled
 	// Blocks is the block manager used by cached RDDs.
 	Blocks *storage.Manager
 
@@ -53,6 +55,17 @@ func WithParallelism(n int) Option {
 // WithCacheCapacity bounds the block manager (bytes); <=0 is unbounded.
 func WithCacheCapacity(capacity int64) Option {
 	return func(c *Context) { c.Blocks = storage.NewManager(capacity) }
+}
+
+// WithSpill enables out-of-core execution: blocking operators (shuffle
+// stores, sort runs, join builds) spill to m's run files when the query's
+// memory budget refuses their next reservation. Without it (or without a
+// budget) over-limit queries keep failing with memory.ErrMemoryExceeded.
+func WithSpill(m *spill.Manager) Option {
+	return func(c *Context) {
+		c.spill = m
+		c.shuffles.spill = m
+	}
 }
 
 // NewContext builds a Context with sane defaults (parallelism =
@@ -86,6 +99,9 @@ func (c *Context) ShuffleBytes() int64 { return c.shuffleBytes.Load() }
 // the leak invariant: it returns to zero once every cursor over shuffle
 // stages is closed (cleanly, truncated by LIMIT, or cancelled).
 func (c *Context) ShuffleOutstanding() int { return c.shuffles.Outstanding() }
+
+// SpillManager returns the out-of-core spill fabric (nil when disabled).
+func (c *Context) SpillManager() *spill.Manager { return c.spill }
 
 func (c *Context) nextRDDID() int     { return int(c.rddID.Add(1)) }
 func (c *Context) nextShuffleID() int { return int(c.shuffleID.Add(1)) }
@@ -438,14 +454,54 @@ func (c *Context) shuffleMapTask(ctx context.Context, dep *ShuffleDependency, ma
 	return nil
 }
 
+// spillFlushBytes is how much scattered input a spilling map task buffers
+// before sealing the scatter into the per-reducer runs, keeping the map
+// side's resident high-water at a small constant instead of the whole
+// partition.
+const spillFlushBytes = 1 << 20
+
 // batchMapTask is the map side of a columnar exchange: the parent's
 // output is viewed as a batch stream (spliced through untouched when the
 // parent operator is vectorized, gathered into batches otherwise) and
-// scattered column-wise into per-reducer builders.
+// scattered column-wise into per-reducer builders. With out-of-core
+// execution available and a budget in force, the builders flush
+// incrementally into per-reducer spill runs, which go to disk when the
+// budget refuses them; otherwise the whole partition is scattered and
+// sealed in one shot (the in-memory fast path, untouched).
 func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapPart int,
 	it sqltypes.RowIter, nReduce int) error {
 	bi := vector.AsBatchIter(it, dep.Batch.Schema, vector.DefaultBatchSize)
 	sc := vector.NewScatter(dep.Batch.Schema, dep.Batch.Ords, nReduce)
+	mem := memory.FromContext(ctx)
+	qs := obs.FromContext(ctx)
+	spilling := c.spill.Enabled() && mem != nil
+
+	var runs []*spill.Run
+	if spilling {
+		runs = make([]*spill.Run, nReduce)
+		for i := range runs {
+			runs[i] = c.spill.NewRun("shuffle write", dep.Batch.Schema, mem, dep.Obs, qs)
+		}
+	}
+	var bytes, rows, nBatches int64
+	flush := func() error {
+		if err := faultpoint.Hit(faultpoint.BatchSeal); err != nil {
+			return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+		}
+		sealed := sc.Seal()
+		for reducer, bucket := range sealed {
+			for _, b := range bucket {
+				bytes += b.MemBytes()
+				rows += int64(b.Len())
+				nBatches++
+				if err := runs[reducer].Append(b); err != nil {
+					return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+				}
+			}
+		}
+		return nil
+	}
+	var pending int64
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -458,30 +514,52 @@ func (c *Context) batchMapTask(ctx context.Context, dep *ShuffleDependency, mapP
 			break
 		}
 		sc.Add(b)
-	}
-	if err := faultpoint.Hit(faultpoint.BatchSeal); err != nil {
-		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
-	}
-	sealed := sc.Seal()
-	var bytes, rows, nBatches int64
-	for _, bucket := range sealed {
-		for _, b := range bucket {
-			bytes += b.MemBytes()
-			rows += int64(b.Len())
-			nBatches++
+		if spilling {
+			pending += b.MemBytes()
+			if pending >= spillFlushBytes {
+				if err := flush(); err != nil {
+					return err
+				}
+				pending = 0
+			}
 		}
 	}
-	if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
-		return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+	if spilling {
+		if err := flush(); err != nil {
+			return err
+		}
+		if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
+			return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+		}
+		for _, r := range runs {
+			if err := r.Seal(); err != nil {
+				return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+			}
+		}
+		c.shuffles.WriteBatchRuns(dep.ShuffleID, mapPart, runs)
+	} else {
+		if err := faultpoint.Hit(faultpoint.BatchSeal); err != nil {
+			return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+		}
+		sealed := sc.Seal()
+		for _, bucket := range sealed {
+			for _, b := range bucket {
+				bytes += b.MemBytes()
+				rows += int64(b.Len())
+				nBatches++
+			}
+		}
+		if err := faultpoint.Hit(faultpoint.ShuffleWrite); err != nil {
+			return fmt.Errorf("rdd: shuffle %d map task %d: %w", dep.ShuffleID, mapPart, err)
+		}
+		if err := mem.Reserve("shuffle write", bytes); err != nil {
+			return err
+		}
+		c.shuffles.charge(dep.ShuffleID, mem, bytes)
+		c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sealed)
 	}
-	mem := memory.FromContext(ctx)
-	if err := mem.Reserve("shuffle write", bytes); err != nil {
-		return err
-	}
-	c.shuffles.charge(dep.ShuffleID, mem, bytes)
-	c.shuffles.WriteBatches(dep.ShuffleID, mapPart, sealed)
 	c.shuffleBytes.Add(bytes)
-	obs.FromContext(ctx).AddShuffleBytes(bytes)
+	qs.AddShuffleBytes(bytes)
 	if dep.Obs != nil {
 		dep.Obs.AddRowsOut(rows)
 		dep.Obs.AddBatches(nBatches)
@@ -500,14 +578,17 @@ type ShuffleManager struct {
 	mu       sync.Mutex
 	shuffles map[int]*shuffleOutput
 	stages   map[int]*shuffleStage
+	spill    *spill.Manager // set by WithSpill; nil = in-memory only
 }
 
-// shuffleOutput holds one shuffle's map outputs. rows and batches are
-// mutually exclusive per shuffle (set by the dependency flavor).
+// shuffleOutput holds one shuffle's map outputs. rows, batches and runs
+// are mutually exclusive per shuffle (set by the dependency flavor and
+// whether the query runs out-of-core).
 type shuffleOutput struct {
 	mu      sync.RWMutex
 	rows    map[int][][]sqltypes.Row  // mapPart -> reducer -> rows
 	batches map[int][][]*vector.Batch // mapPart -> reducer -> sealed batches
+	runs    map[int][]*spill.Run      // mapPart -> reducer -> spillable run
 	mem     *memory.Tracker           // tracker the retained buckets are charged to
 	charged int64                     // bytes charged to mem, released by Drop
 }
@@ -603,6 +684,19 @@ func (m *ShuffleManager) WriteBatches(shuffleID, mapPart int, buckets [][]*vecto
 	out.batches[mapPart] = buckets
 }
 
+// WriteBatchRuns records one map task's columnar buckets in spill-run
+// form (out-of-core shuffles). The runs are released by Drop; until then
+// they serve readers from memory or disk transparently.
+func (m *ShuffleManager) WriteBatchRuns(shuffleID, mapPart int, runs []*spill.Run) {
+	out := m.output(shuffleID)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	if out.runs == nil {
+		out.runs = make(map[int][]*spill.Run)
+	}
+	out.runs[mapPart] = runs
+}
+
 // rowBucket returns map task mapPart's bucket for reducer p, or ok=false
 // when that map task has not written (the reader is past the last map).
 func (o *shuffleOutput) rowBucket(mapPart, p int) ([]sqltypes.Row, bool) {
@@ -630,6 +724,27 @@ func (o *shuffleOutput) batchBucket(mapPart, p int) ([]*vector.Batch, bool) {
 		return nil, true
 	}
 	return buckets[p], true
+}
+
+// runBucket is batchBucket for an out-of-core shuffle.
+func (o *shuffleOutput) runBucket(mapPart, p int) (*spill.Run, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	runs, ok := o.runs[mapPart]
+	if !ok {
+		return nil, false
+	}
+	if p >= len(runs) {
+		return nil, true
+	}
+	return runs[p], true
+}
+
+// spilled reports whether the shuffle's outputs live in spill runs.
+func (o *shuffleOutput) spilled() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.runs != nil
 }
 
 // OpenRowReader streams reduce partition p's rows one map-task bucket at a
@@ -693,8 +808,36 @@ func (m *ShuffleManager) Fetch(shuffleID, p int) ([]sqltypes.Row, error) {
 	}
 	out.mu.RLock()
 	columnar := out.batches != nil
+	spilled := out.runs != nil
 	out.mu.RUnlock()
 	var rows []sqltypes.Row
+	if spilled {
+		for mapPart := 0; ; mapPart++ {
+			run, ok := out.runBucket(mapPart, p)
+			if !ok {
+				return rows, nil
+			}
+			if run == nil {
+				continue
+			}
+			it, err := run.Open(nil, false)
+			if err != nil {
+				return nil, err
+			}
+			for {
+				b, err := it.Next()
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					break
+				}
+				for i := 0; i < b.Len(); i++ {
+					rows = append(rows, b.Row(i))
+				}
+			}
+		}
+	}
 	if columnar {
 		for mapPart := 0; ; mapPart++ {
 			bucket, ok := out.batchBucket(mapPart, p)
@@ -755,7 +898,10 @@ func (r *shuffleRowReader) Next() (sqltypes.Row, error) {
 
 // shuffleBatchReader streams reduce partition reducer's sealed batches
 // across map outputs — all of them, or the half-open map range
-// [mapPart, lastMap) when lastMap > 0 (per-run readers).
+// [mapPart, lastMap) when lastMap > 0 (per-run readers). On an
+// out-of-core shuffle each map task's bucket is a spill run, opened as a
+// streaming reader when the cursor gets to it — from memory or from its
+// run file, transparently.
 type shuffleBatchReader struct {
 	out     *shuffleOutput
 	reducer int
@@ -763,6 +909,7 @@ type shuffleBatchReader struct {
 	mapPart int
 	lastMap int // exclusive bound on map parts; 0 = unbounded
 	cur     []*vector.Batch
+	curRun  vector.BatchIter
 	pos     int
 	done    bool
 }
@@ -770,6 +917,16 @@ type shuffleBatchReader struct {
 // Next implements vector.BatchIter.
 func (r *shuffleBatchReader) Next() (*vector.Batch, error) {
 	for {
+		if r.curRun != nil {
+			b, err := r.curRun.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				return b, nil
+			}
+			r.curRun = nil
+		}
 		if r.pos < len(r.cur) {
 			b := r.cur[r.pos]
 			r.pos++
@@ -787,6 +944,23 @@ func (r *shuffleBatchReader) Next() (*vector.Batch, error) {
 		if r.lastMap > 0 && r.mapPart >= r.lastMap {
 			r.done = true
 			return nil, nil
+		}
+		if r.out.spilled() {
+			run, ok := r.out.runBucket(r.mapPart, r.reducer)
+			if !ok {
+				r.done = true
+				return nil, nil
+			}
+			r.mapPart++
+			if run == nil {
+				continue
+			}
+			it, err := run.Open(r.tc.Err, false)
+			if err != nil {
+				return nil, err
+			}
+			r.curRun = it
+			continue
 		}
 		bucket, ok := r.out.batchBucket(r.mapPart, r.reducer)
 		if !ok {
@@ -812,7 +986,15 @@ func (m *ShuffleManager) Drop(shuffleID int) {
 	}
 	out.mu.Lock()
 	mem, charged := out.mem, out.charged
-	out.mem, out.charged = nil, 0
+	runs := out.runs
+	out.mem, out.charged, out.runs = nil, 0, nil
 	out.mu.Unlock()
 	mem.Release(charged)
+	for _, rs := range runs {
+		for _, r := range rs {
+			if r != nil {
+				r.Release()
+			}
+		}
+	}
 }

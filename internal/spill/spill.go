@@ -1,0 +1,889 @@
+// Package spill is the engine's out-of-core fabric: a disk-backed store
+// for sealed columnar batches shared by every blocking operator (shuffle
+// stores, sort runs, join builds).
+//
+// The unit is the Run — an append-only sequence of batches that starts
+// resident, charged against the query's memory.Tracker, and goes to disk
+// when the budget refuses the next append: first by evicting colder sealed
+// runs of the same query (LRU), then by spilling itself. A spilled run is
+// an append-only run file (see the format below) written through buffered
+// sequential I/O; readers stream it back through the vector.BatchIter
+// protocol with one reused decode batch, polling the task's cancellation.
+//
+// Run-file format (little-endian):
+//
+//	header:  magic "IDFR" | version u8 | ncols u16 | per column: type u8
+//	batch:   rows u32
+//	         per column: anyNulls u8 [null words ((rows+63)/64) u64...]
+//	                     payload — int family: rows × i64
+//	                               float:      rows × f64
+//	                               string:     per value u32 len + bytes
+//
+// Lifecycle: every run registers a closer on its tracker, so query close,
+// cancellation and panic paths delete run files without the operators'
+// cooperation; Manager.Close (Session.Close) removes the session's whole
+// spill directory, sweeping anything that survived.
+package spill
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"indexeddf/internal/faultpoint"
+	"indexeddf/internal/memory"
+	"indexeddf/internal/obs"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+const (
+	magic      = "IDFR"
+	version    = 1
+	writeBufSz = 256 << 10
+	readBufSz  = 64 << 10
+)
+
+var errReleased = errors.New("spill: run released")
+
+// Manager owns one session's spill directory and the LRU of resident
+// sealed runs. All methods are safe for concurrent use and nil-receiver
+// safe (a nil manager means out-of-core execution is disabled).
+type Manager struct {
+	parent string // Config.SpillDir; the session subdirectory is created lazily
+
+	mu     sync.Mutex
+	dir    string // "" until the first spill
+	closed bool
+	lru    *list.List // *Run, front = hottest; resident sealed runs only
+	seq    int64
+
+	runsSpilled  atomic.Int64 // runs that went to disk
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	filesActive  atomic.Int64
+	evictions    atomic.Int64
+}
+
+// NewManager builds a manager that places run files in a private
+// subdirectory of parent (created on first spill).
+func NewManager(parent string) *Manager {
+	return &Manager{parent: parent, lru: list.New()}
+}
+
+// Enabled reports whether out-of-core execution is available.
+func (m *Manager) Enabled() bool { return m != nil }
+
+// SpilledRuns returns the number of runs written to disk so far.
+func (m *Manager) SpilledRuns() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.runsSpilled.Load()
+}
+
+// BytesWritten returns the total bytes written to run files.
+func (m *Manager) BytesWritten() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.bytesWritten.Load()
+}
+
+// BytesRead returns the total bytes decoded back from run files.
+func (m *Manager) BytesRead() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.bytesRead.Load()
+}
+
+// ActiveFiles returns the number of run files currently on disk.
+func (m *Manager) ActiveFiles() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.filesActive.Load()
+}
+
+// Evictions returns how many sealed resident runs were pushed to disk to
+// make room for hotter data.
+func (m *Manager) Evictions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.evictions.Load()
+}
+
+// Dir returns the session's spill subdirectory ("" before the first
+// spill).
+func (m *Manager) Dir() string {
+	if m == nil {
+		return ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dir
+}
+
+// Close deletes the session's spill directory and everything in it — the
+// orphan sweep backing Session.Close. Idempotent.
+func (m *Manager) Close() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	m.closed = true
+	dir := m.dir
+	m.dir = ""
+	m.lru.Init()
+	m.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return os.RemoveAll(dir)
+}
+
+// createFile opens a fresh run file, creating the spill directory on first
+// use.
+func (m *Manager) createFile() (*os.File, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("spill: manager closed")
+	}
+	if m.dir == "" {
+		if m.parent != "" {
+			if err := os.MkdirAll(m.parent, 0o755); err != nil {
+				m.mu.Unlock()
+				return nil, fmt.Errorf("spill: create dir: %w", err)
+			}
+		}
+		dir, err := os.MkdirTemp(m.parent, "indexeddf-spill-")
+		if err != nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("spill: create dir: %w", err)
+		}
+		m.dir = dir
+	}
+	m.seq++
+	path := filepath.Join(m.dir, fmt.Sprintf("run-%06d.spill", m.seq))
+	m.mu.Unlock()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create run file: %w", err)
+	}
+	m.filesActive.Add(1)
+	return f, nil
+}
+
+// touch moves a resident sealed run to the hot end of the LRU.
+func (m *Manager) touch(r *Run) {
+	m.mu.Lock()
+	if r.elem != nil {
+		m.lru.MoveToFront(r.elem)
+	}
+	m.mu.Unlock()
+}
+
+// addLRU enters a freshly sealed resident run into the eviction order.
+func (m *Manager) addLRU(r *Run) {
+	m.mu.Lock()
+	if !m.closed && r.elem == nil {
+		r.elem = m.lru.PushFront(r)
+	}
+	m.mu.Unlock()
+}
+
+// removeLRU drops a run from the eviction order.
+func (m *Manager) removeLRU(r *Run) {
+	m.mu.Lock()
+	if r.elem != nil {
+		m.lru.Remove(r.elem)
+		r.elem = nil
+	}
+	m.mu.Unlock()
+}
+
+// evictOne pushes the coldest evictable run charged to the same tracker to
+// disk, freeing budget for the caller. Returns false when nothing could be
+// evicted. The victim's mutex is taken without the manager lock held (lock
+// order is always Run.mu → Manager.mu).
+func (m *Manager) evictOne(mem *memory.Tracker, exclude *Run) bool {
+	for {
+		m.mu.Lock()
+		var victim *Run
+		for e := m.lru.Back(); e != nil; e = e.Prev() {
+			r := e.Value.(*Run)
+			if r != exclude && r.mem == mem {
+				victim = r
+				break
+			}
+		}
+		if victim == nil {
+			m.mu.Unlock()
+			return false
+		}
+		m.lru.Remove(victim.elem)
+		victim.elem = nil
+		m.mu.Unlock()
+
+		// Deferred unlock: a panic injected into the spill write (chaos
+		// testing) must unwind without poisoning the victim's mutex — the
+		// query's teardown still has to Release it.
+		ok, err := func() (bool, error) {
+			victim.mu.Lock()
+			defer victim.mu.Unlock()
+			if victim.released || !victim.sealed || victim.path != "" || len(victim.batches) == 0 {
+				return false, nil
+			}
+			return true, victim.spillLocked(true)
+		}()
+		if ok {
+			if err != nil {
+				// The victim could not be written (disk full, fault). Its
+				// memory was not freed; give up on eviction — the caller
+				// falls back to spilling itself or failing.
+				return false
+			}
+			m.evictions.Add(1)
+			return true
+		}
+		// Raced with a release/spill; try the next-coldest.
+	}
+}
+
+// EvictFor is the tracker's pressure valve (memory.Tracker.SetValve):
+// spill the query's coldest sealed resident run so any operator's failing
+// reservation — hash-aggregate growth, cursor slot buffers, not just run
+// appends — can retry against the freed budget. Returns false when the
+// query has no evictable run left. Nil-receiver safe.
+func (m *Manager) EvictFor(mem *memory.Tracker) bool {
+	if m == nil || mem == nil {
+		return false
+	}
+	return m.evictOne(mem, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Run
+
+// Run is one append-only sequence of sealed batches. Appends are charged
+// to the query's tracker; when the budget refuses, the run goes to disk
+// and later appends stream straight to the file. A run is either fully
+// resident or fully on disk, never both.
+//
+// Lifecycle: Append* → Seal → Open (any number of readers) → Release.
+// Release is idempotent and also runs via the tracker's closers, so
+// cancelled and panicked queries delete their files.
+type Run struct {
+	m      *Manager
+	mem    *memory.Tracker
+	op     string
+	schema *sqltypes.Schema
+	st     *obs.OpStats
+	qs     *obs.QueryStats
+
+	mu       sync.Mutex
+	batches  []*vector.Batch // resident form (owned; nil once spilled)
+	charged  int64           // bytes reserved against mem for the resident form
+	rows     int64
+	nbatches int
+	f        *os.File      // open while spilled and unsealed
+	w        *bufio.Writer // wraps f
+	path     string        // non-"" once spilled
+	sealed   bool
+	released bool
+	readers  map[*runReader]struct{}
+	elem     *list.Element // LRU slot (resident sealed runs only)
+}
+
+// NewRun starts an empty run for the given operator. The run's file (if it
+// ever spills) is deleted when the tracker closes, whatever else happens.
+func (m *Manager) NewRun(op string, schema *sqltypes.Schema, mem *memory.Tracker, st *obs.OpStats, qs *obs.QueryStats) *Run {
+	r := &Run{m: m, mem: mem, op: op, schema: schema, st: st, qs: qs}
+	mem.AddCloser(r.Release)
+	return r
+}
+
+// Rows returns the number of rows appended so far.
+func (r *Run) Rows() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rows
+}
+
+// Spilled reports whether the run lives on disk.
+func (r *Run) Spilled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.path != ""
+}
+
+// SpillNow forces the run to disk immediately — the external-sort path,
+// where the caller is about to free the chunk's resident form and streams
+// the sorted output straight to the file. No-op if already spilled.
+func (r *Run) SpillNow() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.released {
+		return errReleased
+	}
+	if r.path != "" {
+		return nil
+	}
+	return r.spillLocked(r.sealed)
+}
+
+// Append adds a sealed batch to the run, taking ownership of it. When the
+// tracker refuses the charge, the manager first evicts colder sealed runs
+// of the same query; if the budget still refuses, the run spills itself
+// and the batch (and all that follow) streams to disk.
+func (r *Run) Append(b *vector.Batch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.released {
+		return errReleased
+	}
+	if r.sealed {
+		return errors.New("spill: append to sealed run")
+	}
+	if r.w != nil {
+		if err := r.writeLocked(b); err != nil {
+			return err
+		}
+		r.rows += int64(b.Len())
+		r.nbatches++
+		return nil
+	}
+	n := b.MemBytes()
+	for {
+		err := r.mem.Reserve(r.op, n)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, memory.ErrMemoryExceeded) {
+			return err
+		}
+		if r.m.evictOne(r.mem, r) {
+			continue
+		}
+		// Budget exhausted and nothing left to evict: go to disk.
+		if serr := r.spillLocked(false); serr != nil {
+			return serr
+		}
+		if werr := r.writeLocked(b); werr != nil {
+			return werr
+		}
+		r.rows += int64(b.Len())
+		r.nbatches++
+		return nil
+	}
+	r.charged += n
+	r.st.AddMem(n)
+	r.batches = append(r.batches, b)
+	r.rows += int64(b.Len())
+	r.nbatches++
+	return nil
+}
+
+// spillLocked moves the run to disk: writes the header and every resident
+// batch, releases the resident charge, and (for sealed runs) finalizes the
+// file. Called with r.mu held.
+func (r *Run) spillLocked(sealed bool) error {
+	f, err := r.m.createFile()
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, writeBufSz)
+	r.f, r.w, r.path = f, w, f.Name()
+	if err := r.writeHeaderLocked(); err != nil {
+		r.abortFileLocked()
+		return err
+	}
+	for _, b := range r.batches {
+		if err := r.writeLocked(b); err != nil {
+			r.abortFileLocked()
+			return err
+		}
+	}
+	r.batches = nil
+	r.mem.Release(r.charged)
+	r.charged = 0
+	r.m.runsSpilled.Add(1)
+	r.st.AddSpill(0, 1)
+	r.qs.AddSpill(0, 1)
+	if sealed {
+		return r.finishFileLocked()
+	}
+	return nil
+}
+
+// abortFileLocked tears down a half-written run file after a write error.
+// The run keeps its resident form (nothing was freed yet).
+func (r *Run) abortFileLocked() {
+	if r.f != nil {
+		r.f.Close()
+		os.Remove(r.path)
+		r.m.filesActive.Add(-1)
+	}
+	r.f, r.w, r.path = nil, nil, ""
+}
+
+// finishFileLocked flushes and closes the run file after the last append.
+func (r *Run) finishFileLocked() error {
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil {
+			return fmt.Errorf("spill: flush run file: %w", err)
+		}
+		r.w = nil
+	}
+	if r.f != nil {
+		if err := r.f.Close(); err != nil {
+			return fmt.Errorf("spill: close run file: %w", err)
+		}
+		r.f = nil
+	}
+	return nil
+}
+
+// Seal marks the run complete: no more appends. Resident runs become
+// eviction candidates; spilled runs finalize their file.
+func (r *Run) Seal() error {
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		return errReleased
+	}
+	if r.sealed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.sealed = true
+	if r.path != "" {
+		err := r.finishFileLocked()
+		r.mu.Unlock()
+		return err
+	}
+	resident := len(r.batches) > 0
+	r.mu.Unlock()
+	if resident {
+		r.m.addLRU(r)
+	}
+	return nil
+}
+
+// Open returns a cancellable BatchIter over the run's contents (resident
+// or on disk, transparently). interrupt is polled between batches (nil =
+// never cancelled). When autoRelease is set the run releases itself as
+// soon as the reader is exhausted — the mode for single-consumer runs
+// (sort chunks); shuffle runs are instead released by ShuffleManager.Drop.
+func (r *Run) Open(interrupt func() error, autoRelease bool) (vector.BatchIter, error) {
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		return nil, errReleased
+	}
+	if r.path == "" {
+		batches := r.batches
+		r.mu.Unlock()
+		r.m.touch(r)
+		return &residentIter{run: r, batches: batches, interrupt: interrupt, autoRelease: autoRelease}, nil
+	}
+	nbatches := r.nbatches
+	path := r.path
+	r.mu.Unlock()
+	if err := faultpoint.Hit(faultpoint.SpillRead); err != nil {
+		return nil, fmt.Errorf("spill: open run: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open run: %w", err)
+	}
+	rd := &runReader{
+		run:         r,
+		f:           f,
+		br:          bufio.NewReaderSize(f, readBufSz),
+		interrupt:   interrupt,
+		remaining:   nbatches,
+		dec:         vector.NewBatch(r.schema),
+		autoRelease: autoRelease,
+	}
+	if err := rd.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		f.Close()
+		return nil, errReleased
+	}
+	if r.readers == nil {
+		r.readers = make(map[*runReader]struct{})
+	}
+	r.readers[rd] = struct{}{}
+	r.mu.Unlock()
+	return rd, nil
+}
+
+// Release frees everything the run holds: the resident charge, the run
+// file, and any open readers. Idempotent; also invoked by the tracker's
+// close.
+func (r *Run) Release() {
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		return
+	}
+	r.released = true
+	charged := r.charged
+	r.charged = 0
+	r.batches = nil
+	if r.w != nil {
+		r.w = nil
+	}
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	path := r.path
+	readers := r.readers
+	r.readers = nil
+	r.mu.Unlock()
+
+	r.mem.Release(charged)
+	for rd := range readers {
+		rd.close()
+	}
+	if path != "" {
+		os.Remove(path)
+		r.m.filesActive.Add(-1)
+	}
+	r.m.removeLRU(r)
+}
+
+func (r *Run) readerDone(rd *runReader) {
+	r.mu.Lock()
+	delete(r.readers, rd)
+	r.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+func (r *Run) writeHeaderLocked() error {
+	var hdr [7]byte
+	copy(hdr[:4], magic)
+	hdr[4] = version
+	binary.LittleEndian.PutUint16(hdr[5:7], uint16(r.schema.Len()))
+	if _, err := r.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: write header: %w", err)
+	}
+	for _, f := range r.schema.Fields {
+		if err := r.w.WriteByte(byte(f.Type)); err != nil {
+			return fmt.Errorf("spill: write header: %w", err)
+		}
+	}
+	r.m.bytesWritten.Add(int64(7 + r.schema.Len()))
+	return nil
+}
+
+// writeLocked serializes one batch to the open run file.
+func (r *Run) writeLocked(b *vector.Batch) error {
+	if err := faultpoint.Hit(faultpoint.SpillWrite); err != nil {
+		return fmt.Errorf("spill: write batch: %w", err)
+	}
+	n := b.Len()
+	var scratch [8]byte
+	written := int64(0)
+	put := func(p []byte) error {
+		if _, err := r.w.Write(p); err != nil {
+			return fmt.Errorf("spill: write batch: %w", err)
+		}
+		written += int64(len(p))
+		return nil
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(n))
+	if err := put(scratch[:4]); err != nil {
+		return err
+	}
+	for _, col := range b.Cols {
+		if col.AnyNulls() {
+			if err := put([]byte{1}); err != nil {
+				return err
+			}
+			for _, w := range col.NullWords() {
+				binary.LittleEndian.PutUint64(scratch[:], w)
+				if err := put(scratch[:]); err != nil {
+					return err
+				}
+			}
+		} else if err := put([]byte{0}); err != nil {
+			return err
+		}
+		switch col.Type {
+		case sqltypes.Float64:
+			for _, v := range col.Float64s() {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+				if err := put(scratch[:]); err != nil {
+					return err
+				}
+			}
+		case sqltypes.String:
+			for _, s := range col.Strings() {
+				binary.LittleEndian.PutUint32(scratch[:4], uint32(len(s)))
+				if err := put(scratch[:4]); err != nil {
+					return err
+				}
+				if err := put([]byte(s)); err != nil {
+					return err
+				}
+			}
+		default:
+			for _, v := range col.Int64s() {
+				binary.LittleEndian.PutUint64(scratch[:], uint64(v))
+				if err := put(scratch[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	r.m.bytesWritten.Add(written)
+	r.st.AddSpill(written, 0)
+	r.qs.AddSpill(written, 0)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Readers
+
+// residentIter streams a resident run's batches, polling cancellation.
+type residentIter struct {
+	run         *Run
+	batches     []*vector.Batch
+	pos         int
+	interrupt   func() error
+	autoRelease bool
+	done        bool
+}
+
+func (it *residentIter) Next() (*vector.Batch, error) {
+	if it.done {
+		return nil, nil
+	}
+	if it.interrupt != nil {
+		if err := it.interrupt(); err != nil {
+			return nil, err
+		}
+	}
+	for it.pos < len(it.batches) {
+		b := it.batches[it.pos]
+		it.pos++
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+	it.done = true
+	if it.autoRelease {
+		it.run.Release()
+	}
+	return nil, nil
+}
+
+// runReader streams a spilled run back from disk, decoding into one reused
+// batch (the BatchIter ownership contract allows this).
+type runReader struct {
+	run         *Run
+	interrupt   func() error
+	autoRelease bool
+
+	mu        sync.Mutex
+	f         *os.File
+	br        *bufio.Reader
+	dec       *vector.Batch
+	remaining int
+	closed    bool
+}
+
+func (rd *runReader) readHeader() error {
+	hdr := make([]byte, 7+rd.run.schema.Len())
+	if _, err := io.ReadFull(rd.br, hdr); err != nil {
+		return fmt.Errorf("spill: read header: %w", err)
+	}
+	if string(hdr[:4]) != magic || hdr[4] != version {
+		return fmt.Errorf("spill: bad run file header")
+	}
+	if int(binary.LittleEndian.Uint16(hdr[5:7])) != rd.run.schema.Len() {
+		return fmt.Errorf("spill: run file column count mismatch")
+	}
+	for i, f := range rd.run.schema.Fields {
+		if hdr[7+i] != byte(f.Type) {
+			return fmt.Errorf("spill: run file column %d type mismatch", i)
+		}
+	}
+	rd.run.m.bytesRead.Add(int64(len(hdr)))
+	return nil
+}
+
+// Next implements vector.BatchIter.
+func (rd *runReader) Next() (*vector.Batch, error) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if rd.closed {
+		return nil, errReleased
+	}
+	if rd.remaining == 0 {
+		rd.finishLocked()
+		return nil, nil
+	}
+	if rd.interrupt != nil {
+		if err := rd.interrupt(); err != nil {
+			rd.finishLocked()
+			return nil, err
+		}
+	}
+	if err := faultpoint.Hit(faultpoint.SpillRead); err != nil {
+		rd.finishLocked()
+		return nil, fmt.Errorf("spill: read batch: %w", err)
+	}
+	b, err := rd.decodeBatch()
+	if err != nil {
+		rd.finishLocked()
+		return nil, err
+	}
+	rd.remaining--
+	return b, nil
+}
+
+// finishLocked closes the file and detaches from the run; with
+// autoRelease set it releases the run itself (deleting the file).
+func (rd *runReader) finishLocked() {
+	if rd.closed {
+		return
+	}
+	rd.closed = true
+	if rd.f != nil {
+		rd.f.Close()
+		rd.f = nil
+	}
+	run := rd.run
+	auto := rd.autoRelease
+	// The run's reader set holds rd; drop the entry outside rd.mu's
+	// critical path is unnecessary — run.mu never nests inside rd.mu
+	// elsewhere, but keep the call after state is settled.
+	run.readerDone(rd)
+	if auto {
+		run.Release()
+	}
+}
+
+// close is the abandonment path (run released mid-read).
+func (rd *runReader) close() {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if rd.closed {
+		return
+	}
+	rd.closed = true
+	if rd.f != nil {
+		rd.f.Close()
+		rd.f = nil
+	}
+}
+
+// decodeBatch reads one batch into the reused decode batch.
+func (rd *runReader) decodeBatch() (*vector.Batch, error) {
+	var scratch [8]byte
+	read := func(p []byte) error {
+		if _, err := io.ReadFull(rd.br, p); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("spill: read batch: %w", err)
+		}
+		return nil
+	}
+	if err := read(scratch[:4]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if n <= 0 || n > 1<<22 {
+		return nil, fmt.Errorf("spill: corrupt run file (batch of %d rows)", n)
+	}
+	total := int64(4)
+	b := rd.dec
+	for _, col := range b.Cols {
+		col.Resize(n)
+		if err := read(scratch[:1]); err != nil {
+			return nil, err
+		}
+		if scratch[0] == 1 {
+			words := col.NullWords()
+			for i := range words {
+				if err := read(scratch[:]); err != nil {
+					return nil, err
+				}
+				words[i] = binary.LittleEndian.Uint64(scratch[:])
+			}
+			total += int64(8 * len(words))
+		}
+		total++
+		switch col.Type {
+		case sqltypes.Float64:
+			lane := col.Float64s()
+			for i := range lane {
+				if err := read(scratch[:]); err != nil {
+					return nil, err
+				}
+				lane[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+			}
+			total += int64(8 * n)
+		case sqltypes.String:
+			lane := col.Strings()
+			for i := range lane {
+				if err := read(scratch[:4]); err != nil {
+					return nil, err
+				}
+				l := int(binary.LittleEndian.Uint32(scratch[:4]))
+				if l < 0 || l > 1<<30 {
+					return nil, fmt.Errorf("spill: corrupt run file (string of %d bytes)", l)
+				}
+				if l == 0 {
+					lane[i] = ""
+					total += 4
+					continue
+				}
+				buf := make([]byte, l)
+				if err := read(buf); err != nil {
+					return nil, err
+				}
+				lane[i] = string(buf)
+				total += int64(4 + l)
+			}
+		default:
+			lane := col.Int64s()
+			for i := range lane {
+				if err := read(scratch[:]); err != nil {
+					return nil, err
+				}
+				lane[i] = int64(binary.LittleEndian.Uint64(scratch[:]))
+			}
+			total += int64(8 * n)
+		}
+	}
+	b.SetLen(n)
+	rd.run.m.bytesRead.Add(total)
+	return b, nil
+}

@@ -1,0 +1,376 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indexeddf/internal/faultpoint"
+	"indexeddf/internal/memory"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Field{Name: "b", Type: sqltypes.Bool, Nullable: true},
+		sqltypes.Field{Name: "i", Type: sqltypes.Int64, Nullable: true},
+		sqltypes.Field{Name: "f", Type: sqltypes.Float64, Nullable: true},
+		sqltypes.Field{Name: "s", Type: sqltypes.String, Nullable: true},
+		sqltypes.Field{Name: "ts", Type: sqltypes.Timestamp, Nullable: true},
+	)
+}
+
+// testRows builds n rows over testSchema with nulls sprinkled through
+// every column.
+func testRows(n, seed int) []sqltypes.Row {
+	rows := make([]sqltypes.Row, n)
+	for i := 0; i < n; i++ {
+		v := i + seed
+		r := sqltypes.Row{
+			sqltypes.NewBool(v%2 == 0),
+			sqltypes.NewInt64(int64(v)),
+			sqltypes.NewFloat64(float64(v) / 3),
+			sqltypes.NewString(fmt.Sprintf("row-%d", v)),
+			sqltypes.NewTimestamp(int64(v) * 1_000_000),
+		}
+		// Null out column (i mod 6) when it is a real column index; when
+		// it is 5 the row stays fully non-null.
+		if c := i % 6; c < len(r) {
+			r[c] = sqltypes.Value{}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func batchOf(t *testing.T, schema *sqltypes.Schema, rows []sqltypes.Row) *vector.Batch {
+	t.Helper()
+	b := vector.NewBatch(schema)
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatalf("AppendRow: %v", err)
+		}
+	}
+	return b
+}
+
+func drainRun(t *testing.T, it vector.BatchIter) []sqltypes.Row {
+	t.Helper()
+	var out []sqltypes.Row
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if b == nil {
+			return out
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+}
+
+func wantRows(t *testing.T, got, want []sqltypes.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d arity: got %d want %d", i, len(got[i]), len(want[i]))
+		}
+		for c := range want[i] {
+			gn, wn := got[i][c].IsNull(), want[i][c].IsNull()
+			if gn != wn || (!gn && !sqltypes.Equal(got[i][c], want[i][c])) {
+				t.Fatalf("row %d col %d: got %v want %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestRunRoundTripSpilled pins the run-file codec: every column type plus
+// nulls survives a forced spill and reads back identical, and the file is
+// removed once the auto-releasing reader is drained.
+func TestRunRoundTripSpilled(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Close()
+	schema := testSchema()
+	rows := testRows(1000, 0)
+
+	run := m.NewRun("test", schema, nil, nil, nil)
+	if err := run.SpillNow(); err != nil {
+		t.Fatalf("SpillNow: %v", err)
+	}
+	// Append in uneven batch sizes, including an empty batch.
+	for _, chunk := range [][]sqltypes.Row{rows[:1], rows[1:1], rows[1:500], rows[500:]} {
+		if err := run.Append(batchOf(t, schema, chunk)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := run.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if !run.Spilled() {
+		t.Fatal("run should be spilled")
+	}
+	if got := m.ActiveFiles(); got != 1 {
+		t.Fatalf("active files: got %d want 1", got)
+	}
+	it, err := run.Open(nil, true)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	wantRows(t, drainRun(t, it), rows)
+	if got := m.ActiveFiles(); got != 0 {
+		t.Fatalf("active files after drain: got %d want 0", got)
+	}
+	if m.BytesRead() == 0 || m.BytesWritten() == 0 {
+		t.Fatalf("expected read/write byte counters to move: read=%d written=%d", m.BytesRead(), m.BytesWritten())
+	}
+}
+
+// TestRunResidentRoundTrip pins the in-memory path: a sealed run under
+// budget serves its batches without touching the disk.
+func TestRunResidentRoundTrip(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Close()
+	schema := testSchema()
+	rows := testRows(200, 7)
+	pool := memory.NewPool(0)
+	mem := pool.NewTracker("q1", 0)
+	defer mem.Close()
+
+	run := m.NewRun("test", schema, mem, nil, nil)
+	if err := run.Append(batchOf(t, schema, rows)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := run.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if run.Spilled() {
+		t.Fatal("run should be resident")
+	}
+	it, err := run.Open(nil, false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	wantRows(t, drainRun(t, it), rows)
+	run.Release()
+	if got := mem.Used(); got != 0 {
+		t.Fatalf("tracker used after release: got %d want 0", got)
+	}
+}
+
+// TestEvictionUnderPressure pins LRU eviction: with a budget too small
+// for two resident runs, sealing the second evicts the first to disk
+// rather than failing, and both read back intact.
+func TestEvictionUnderPressure(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Close()
+	schema := testSchema()
+	pool := memory.NewPool(0)
+	rowsA := testRows(20000, 0)
+	rowsB := testRows(20000, 50000)
+	batchA := batchOf(t, schema, rowsA)
+	// Budget fits one run comfortably but not two, so sealing the second
+	// must evict the first rather than fail.
+	mem := pool.NewTracker("q1", batchA.MemBytes()+batchA.MemBytes()/2)
+	defer mem.Close()
+
+	runA := m.NewRun("test", schema, mem, nil, nil)
+	if err := runA.Append(batchA); err != nil {
+		t.Fatalf("Append A: %v", err)
+	}
+	if err := runA.Seal(); err != nil {
+		t.Fatalf("Seal A: %v", err)
+	}
+	runB := m.NewRun("test", schema, mem, nil, nil)
+	if err := runB.Append(batchOf(t, schema, rowsB)); err != nil {
+		t.Fatalf("Append B: %v", err)
+	}
+	if err := runB.Seal(); err != nil {
+		t.Fatalf("Seal B: %v", err)
+	}
+	if !runA.Spilled() {
+		t.Fatal("expected run A (coldest sealed resident) to be evicted")
+	}
+	if runB.Spilled() {
+		t.Fatal("expected run B to stay resident after the eviction freed space")
+	}
+	if got := m.Evictions(); got != 1 {
+		t.Fatalf("evictions: got %d want 1", got)
+	}
+	itA, err := runA.Open(nil, false)
+	if err != nil {
+		t.Fatalf("Open A: %v", err)
+	}
+	wantRows(t, drainRun(t, itA), rowsA)
+	itB, err := runB.Open(nil, false)
+	if err != nil {
+		t.Fatalf("Open B: %v", err)
+	}
+	wantRows(t, drainRun(t, itB), rowsB)
+	runA.Release()
+	runB.Release()
+	if got := m.ActiveFiles(); got != 0 {
+		t.Fatalf("active files after release: got %d want 0", got)
+	}
+}
+
+// TestTrackerCloseReleasesRuns pins the lifecycle backstop: closing the
+// query's tracker releases every run it created, deleting spilled files
+// and stopping in-flight readers.
+func TestTrackerCloseReleasesRuns(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir)
+	defer m.Close()
+	schema := testSchema()
+	pool := memory.NewPool(0)
+	mem := pool.NewTracker("q1", 0)
+
+	run := m.NewRun("test", schema, mem, nil, nil)
+	if err := run.SpillNow(); err != nil {
+		t.Fatalf("SpillNow: %v", err)
+	}
+	if err := run.Append(batchOf(t, schema, testRows(500, 0))); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := run.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	it, err := run.Open(nil, false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	mem.Close() // query teardown
+
+	if _, err := it.Next(); err == nil {
+		t.Fatal("reader should fail after its run is released")
+	}
+	var files []string
+	_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 0 {
+		t.Fatalf("run files left after tracker close: %v", files)
+	}
+	if got := m.ActiveFiles(); got != 0 {
+		t.Fatalf("active files: got %d want 0", got)
+	}
+}
+
+// TestManagerCloseSweeps pins Session.Close semantics: closing the
+// manager removes its whole private directory even when runs leaked.
+func TestManagerCloseSweeps(t *testing.T) {
+	parent := t.TempDir()
+	m := NewManager(parent)
+	schema := testSchema()
+	run := m.NewRun("test", schema, nil, nil, nil)
+	if err := run.SpillNow(); err != nil {
+		t.Fatalf("SpillNow: %v", err)
+	}
+	if err := run.Append(batchOf(t, schema, testRows(100, 0))); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := run.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Leak the run deliberately; Close must still sweep it.
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("manager close left entries under %s: %v", parent, ents)
+	}
+}
+
+// TestSpillWriteFaultFailsRun pins injected write faults: the append
+// fails, the run releases cleanly, and no file is left behind.
+func TestSpillWriteFaultFailsRun(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	m := NewManager(dir)
+	defer m.Close()
+	schema := testSchema()
+
+	injected := errors.New("injected spill write failure")
+	faultpoint.Arm(faultpoint.SpillWrite, faultpoint.Schedule{Err: injected})
+
+	run := m.NewRun("test", schema, nil, nil, nil)
+	if err := run.SpillNow(); err != nil {
+		t.Fatalf("SpillNow: %v", err)
+	}
+	err := run.Append(batchOf(t, schema, testRows(100, 0)))
+	if !errors.Is(err, injected) {
+		t.Fatalf("Append error: got %v want %v", err, injected)
+	}
+	run.Release()
+	var files []string
+	_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 0 {
+		t.Fatalf("files left after failed spill: %v", files)
+	}
+}
+
+// TestShortWriteDetected pins the codec's truncation defence: a run file
+// cut short mid-batch surfaces an error instead of silently returning
+// fewer rows.
+func TestShortWriteDetected(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Close()
+	schema := testSchema()
+	run := m.NewRun("test", schema, nil, nil, nil)
+	if err := run.SpillNow(); err != nil {
+		t.Fatalf("SpillNow: %v", err)
+	}
+	if err := run.Append(batchOf(t, schema, testRows(2000, 0))); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := run.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Truncate the run file mid-payload.
+	run.mu.Lock()
+	path := run.path
+	run.mu.Unlock()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	it, err := run.Open(nil, false)
+	if err == nil {
+		for {
+			var b *vector.Batch
+			b, err = it.Next()
+			if err != nil || b == nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		t.Fatal("expected an error reading a truncated run file")
+	}
+	run.Release()
+}

@@ -3,6 +3,8 @@ package testutil
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"testing"
@@ -32,5 +34,69 @@ func CheckGoroutines(t testing.TB) {
 		var buf bytes.Buffer
 		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
 		t.Errorf("goroutine leak: %d at test start, %d at end\n%s", base, n, buf.String())
+	})
+}
+
+// numFDs counts the process's open file descriptors via /proc/self/fd.
+// Returns -1 where that isn't available (non-Linux).
+func numFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// CheckFDs registers a cleanup that fails the test when it ends holding
+// more open file descriptors than it started with — the spill suites use
+// it to pin that run readers and writers close their files on every exit
+// path (EOF, early cursor close, cancellation, injected fault). File
+// closing can trail query teardown slightly, so the check polls. Skipped
+// silently where /proc/self/fd is unavailable.
+func CheckFDs(t testing.TB) {
+	t.Helper()
+	base := numFDs()
+	if base < 0 {
+		return
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		n := numFDs()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = numFDs()
+		}
+		if n > base {
+			t.Errorf("fd leak: %d open at test start, %d at end", base, n)
+		}
+	})
+}
+
+// CheckNoFiles registers a cleanup that fails the test when dir still
+// contains any file at the end — the spill suites point it at the spill
+// directory to pin that every run file is removed when its query closes.
+// Removal can trail cursor close (tracker closers run during shutdown),
+// so the check polls before declaring a leak.
+func CheckNoFiles(t testing.TB, dir string) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leftover []string
+		for {
+			leftover = leftover[:0]
+			_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+				if err == nil && info != nil && !info.IsDir() {
+					leftover = append(leftover, path)
+				}
+				return nil
+			})
+			if len(leftover) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if len(leftover) > 0 {
+			t.Errorf("leaked files under %s: %v", dir, leftover)
+		}
 	})
 }

@@ -117,6 +117,24 @@ func (s *Session) initObservability() {
 		return float64(s.mem.Active())
 	})
 
+	// Spill fabric (all zero — and the gauge absent cost aside — when
+	// Config.SpillDir is unset; the accessors are nil-safe).
+	m.CounterFunc("indexeddf_spill_runs_total", "Sealed runs spilled to disk (by pressure or eviction).", func() float64 {
+		return float64(s.spill.SpilledRuns())
+	})
+	m.CounterFunc("indexeddf_spill_bytes_written_total", "Bytes written to spill run files.", func() float64 {
+		return float64(s.spill.BytesWritten())
+	})
+	m.CounterFunc("indexeddf_spill_bytes_read_total", "Bytes read back from spill run files.", func() float64 {
+		return float64(s.spill.BytesRead())
+	})
+	m.CounterFunc("indexeddf_spill_evictions_total", "Resident runs evicted to disk under memory pressure.", func() float64 {
+		return float64(s.spill.Evictions())
+	})
+	m.Gauge("indexeddf_spill_files_active", "Spill run files currently on disk.", func() float64 {
+		return float64(s.spill.ActiveFiles())
+	})
+
 	// Materialized-view maintenance, summed over registered views.
 	viewStats := func(pick func(view.Stats) int64) func() float64 {
 		return func() float64 {

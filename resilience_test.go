@@ -33,6 +33,31 @@ func newBudgetSession(t *testing.T, n int, engineLimit, queryLimit int64) *Sessi
 	return s
 }
 
+// newSpillBudgetSession is newBudgetSession with out-of-core execution
+// enabled: a tight per-query budget plus a SpillDir whose end-of-test
+// emptiness is asserted — failed and chaos-ridden queries must reap every
+// run file.
+func newSpillBudgetSession(t *testing.T, n int, queryLimit int64) *Session {
+	t.Helper()
+	dir := t.TempDir()
+	testutil.CheckNoFiles(t, dir)
+	s := NewSession(Config{QueryMemoryLimit: queryLimit, SpillDir: dir,
+		TablePartitions: 8, ShufflePartitions: 4, Parallelism: 2})
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Session.Close: %v", err)
+		}
+	})
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = R(int64(i), int64(i%101))
+	}
+	if _, err := s.CreateTable("big", bigSchema(), rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // collectSQL runs a query to completion, returning the rows or the error
 // that terminated the cursor.
 func collectSQL(s *Session, q string) ([]Row, error) {
@@ -392,24 +417,85 @@ func TestIngestAppendFault(t *testing.T) {
 	}
 }
 
+// TestSpillFaultInjection arms faults at the spill fabric's two I/O sites
+// in turn and asserts the resilience contract for out-of-core queries: an
+// injected write or read failure fails only its query (with the cause
+// intact through every wrapping layer), an injected panic is contained as
+// a *rdd.TaskPanicError, a delay merely slows the query down, no run
+// files survive any of it (the session-level CheckNoFiles asserts that),
+// and the same session answers the same spilling query correctly once the
+// fault clears.
+func TestSpillFaultInjection(t *testing.T) {
+	defer faultpoint.Reset()
+	testutil.CheckGoroutines(t)
+	testutil.CheckFDs(t)
+	s := newSpillBudgetSession(t, 120_000, 192<<10)
+	const q = "SELECT id, val FROM big ORDER BY val, id"
+	want, err := collectSQL(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	for _, p := range []faultpoint.Point{faultpoint.SpillWrite, faultpoint.SpillRead} {
+		t.Run(string(p), func(t *testing.T) {
+			faultpoint.Reset()
+			faultpoint.Arm(p, faultpoint.Schedule{Err: boom, Limit: 1})
+			if _, err := collectSQL(s, q); !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want wrapped injected %s failure", err, p)
+			}
+
+			faultpoint.Arm(p, faultpoint.Schedule{Panic: "spill-boom", Limit: 1})
+			_, err := collectSQL(s, q)
+			var tp *rdd.TaskPanicError
+			if !errors.As(err, &tp) {
+				t.Fatalf("panic at %s surfaced %v (%T), want contained *rdd.TaskPanicError", p, err, err)
+			}
+
+			faultpoint.Arm(p, faultpoint.Schedule{Delay: 2 * time.Millisecond, Limit: 4})
+			got, err := collectSQL(s, q)
+			if err != nil {
+				t.Fatalf("delayed %s: %v", p, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("delay at %s changed results", p)
+			}
+
+			// Fault gone: the spilling query still answers exactly.
+			faultpoint.Reset()
+			got, err = collectSQL(s, q)
+			if err != nil {
+				t.Fatalf("session unserviceable after %s faults: %v", p, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatal("post-fault results diverge")
+			}
+			waitShufflesReleased(t, s)
+		})
+	}
+}
+
 // TestChaosFaultSchedules is the randomized chaos suite: randomized
 // queries under randomized fault schedules (errors, panics, delays; random
 // skip/limit) at randomized engine sites. The contract under every
 // schedule: the process survives, every query terminates (no deadlock —
 // enforced by a per-query deadline), failed queries surface real errors,
 // successful queries return exactly the fault-free results, and neither
-// shuffle outputs nor goroutines leak. Once faults clear, the engine
-// answers everything correctly.
+// shuffle outputs, run files nor goroutines leak. Once faults clear, the
+// engine answers everything correctly. The session runs out-of-core (tight
+// budget + SpillDir) so the spill fabric's I/O sites are in the rotation
+// alongside the task and shuffle sites.
 func TestChaosFaultSchedules(t *testing.T) {
 	defer faultpoint.Reset()
 	testutil.CheckGoroutines(t)
-	s := newBudgetSession(t, 30_000, 0, 0)
+	s := newSpillBudgetSession(t, 30_000, 256<<10)
 
 	queries := []string{
 		"SELECT val, COUNT(*) AS c FROM big GROUP BY val",
 		"SELECT id, val FROM big ORDER BY val, id LIMIT 100",
 		"SELECT COUNT(*) FROM big WHERE val < 50",
 		"SELECT val, COUNT(*) AS c FROM big GROUP BY val ORDER BY c DESC, val LIMIT 7",
+		"SELECT id, val FROM big ORDER BY val, id", // full sort: spills under the budget
 	}
 	want := make([][]Row, len(queries))
 	for i, q := range queries {
@@ -424,6 +510,7 @@ func TestChaosFaultSchedules(t *testing.T) {
 	points := []faultpoint.Point{
 		faultpoint.TaskStart, faultpoint.ShuffleWrite,
 		faultpoint.BatchSeal, faultpoint.ShuffleFetch,
+		faultpoint.SpillWrite, faultpoint.SpillRead,
 	}
 	boom := errors.New("chaos error")
 	rng := rand.New(rand.NewSource(20260808))

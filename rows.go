@@ -320,6 +320,12 @@ func (s *Session) queryExecMeta(ctx context.Context, exec physical.Exec, meta qu
 			return nil, err
 		}
 		tracker = s.mem.NewTracker(queryID, s.cfg.QueryMemoryLimit)
+		if s.spill != nil {
+			// Out-of-core pressure valve: a failing reservation anywhere in
+			// the query first evicts its sealed resident runs to disk.
+			tr := tracker
+			tracker.SetValve(func() bool { return s.spill.EvictFor(tr) })
+		}
 		ctx = memory.WithTracker(ctx, tracker)
 	}
 	fail := func(err error) (*Rows, error) {

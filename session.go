@@ -26,6 +26,7 @@ import (
 	"indexeddf/internal/physical"
 	"indexeddf/internal/plan"
 	"indexeddf/internal/rdd"
+	"indexeddf/internal/spill"
 	"indexeddf/internal/sqltypes"
 )
 
@@ -73,6 +74,15 @@ type Config struct {
 	// QueryMemoryLimit bounds each individual query's share of the above
 	// (zero = only the engine limit applies).
 	QueryMemoryLimit int64
+	// SpillDir enables out-of-core execution: blocking operators (sort
+	// runs, shuffle outputs, shuffle-join build sides) over budget spill
+	// sealed runs to files under this directory instead of failing, and
+	// stream them back. The session creates a private subdirectory removed
+	// by Session.Close. Empty disables spilling — over-budget queries then
+	// fail with memory.ErrMemoryExceeded exactly as before. Spilling only
+	// engages for queries that carry a memory budget (MemoryLimit or
+	// QueryMemoryLimit set); unbudgeted sessions never touch the disk.
+	SpillDir string
 	// DisableObservability turns off per-query instrumentation: no operator
 	// stats, no trace events, no EXPLAIN ANALYZE annotations (the statement
 	// still runs, producing a plan without actuals). The metrics registry
@@ -116,6 +126,7 @@ type Session struct {
 	views *catalog.ViewRegistry
 	plans *planCache
 	mem   *memory.Pool
+	spill *spill.Manager
 
 	// Observability: the metrics registry is always present (engine-global
 	// counters are free); the tracer and per-query stats are nil when
@@ -149,12 +160,18 @@ func NewSession(cfg Config) *Session {
 	if cfg.Parallelism > 0 {
 		ctxOpts = append(ctxOpts, rdd.WithParallelism(cfg.Parallelism))
 	}
+	var spillMgr *spill.Manager
+	if cfg.SpillDir != "" {
+		spillMgr = spill.NewManager(cfg.SpillDir)
+		ctxOpts = append(ctxOpts, rdd.WithSpill(spillMgr))
+	}
 	views := catalog.NewViewRegistry()
 	pool := memory.NewPool(cfg.MemoryLimit)
 	s := &Session{
-		cfg: cfg,
-		mem: pool,
-		ctx: rdd.NewContext(ctxOpts...),
+		cfg:   cfg,
+		mem:   pool,
+		spill: spillMgr,
+		ctx:   rdd.NewContext(ctxOpts...),
 		planner: opt.NewPlanner(opt.PlannerConfig{
 			ShufflePartitions:  cfg.ShufflePartitions,
 			BroadcastThreshold: cfg.BroadcastThreshold,
@@ -172,6 +189,13 @@ func NewSession(cfg Config) *Session {
 
 // Context exposes the underlying RDD context (benchmarks use it).
 func (s *Session) Context() *rdd.Context { return s.ctx }
+
+// Close releases session-owned disk state: the spill manager's private
+// directory is swept (any run file a crashed or leaked query left behind
+// is removed along with it). Queries still running lose their spilled
+// runs and fail on next read. Safe on sessions without a SpillDir, and
+// idempotent.
+func (s *Session) Close() error { return s.spill.Close() }
 
 // MemoryPool exposes the session's engine-level memory pool (tests and
 // monitoring use it; Used() drains back to zero when no query is running).

@@ -1,0 +1,255 @@
+package indexeddf
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"indexeddf/internal/obs"
+	"indexeddf/internal/testutil"
+)
+
+// Out-of-core equivalence: the same randomized queries run in an
+// unconstrained in-memory session and in a session whose budget is a
+// fraction of the working set with a SpillDir, and must produce identical
+// results — with the constrained run actually spilling, keeping its
+// tracker high-water under the budget, and leaving no run files, fds or
+// goroutines behind.
+
+// spillSchema is the randomized-table schema: unique id, low-cardinality
+// nullable val (ties and NULLs for the sort), and a fat group key that
+// makes shuffled bytes dwarf aggregate state.
+func spillSchema() *Schema {
+	return NewSchema(
+		Field{Name: "id", Type: Int64},
+		Field{Name: "val", Type: Int64, Nullable: true},
+		Field{Name: "grp", Type: String},
+	)
+}
+
+// spillRows builds n randomized rows: ~5% NULL vals, heavy ties on val,
+// and grp drawn from g distinct 64-byte strings.
+func spillRows(rng *rand.Rand, n, g int) []Row {
+	pad := strings.Repeat("x", 48)
+	rows := make([]Row, n)
+	for i := range rows {
+		var val any
+		if rng.Intn(20) != 0 {
+			val = int64(rng.Intn(50))
+		}
+		rows[i] = R(int64(i), val, fmt.Sprintf("group-%s-%06d", pad, rng.Intn(g)))
+	}
+	return rows
+}
+
+// newSpillPair builds two sessions over the same table: in-memory
+// unconstrained, and out-of-core with a tight per-query budget plus a
+// SpillDir whose end-of-test emptiness is asserted. Both get the same
+// partitioning (base) so plans match.
+func newSpillPair(t *testing.T, name string, schema *Schema, rows []Row, queryLimit int64, base Config) (memSess, ocSess *Session) {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	testutil.CheckFDs(t)
+	dir := t.TempDir()
+	testutil.CheckNoFiles(t, dir)
+	memSess = NewSession(base)
+	ocCfg := base
+	ocCfg.QueryMemoryLimit = queryLimit
+	ocCfg.SpillDir = dir
+	ocSess = NewSession(ocCfg)
+	t.Cleanup(func() {
+		if err := ocSess.Close(); err != nil {
+			t.Errorf("Session.Close: %v", err)
+		}
+	})
+	for _, s := range []*Session{memSess, ocSess} {
+		if _, err := s.CreateTable(name, schema, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return memSess, ocSess
+}
+
+// collectStats runs q to completion and returns rows plus query stats.
+func collectStats(t *testing.T, s *Session, q string) ([]Row, *obs.QueryStats) {
+	t.Helper()
+	rows, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	out, err := drainRows(rows)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return out, rows.Stats()
+}
+
+// wantSameRows asserts two result sets are identical. ordered compares
+// positionally; otherwise both sides are sorted first.
+func wantSameRows(t *testing.T, got, want []Row, ordered bool) {
+	t.Helper()
+	if !ordered {
+		sortRows(got)
+		sortRows(want)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("row %d differs:\n  got  %v\n  want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// wantSpilled asserts the constrained run actually went out of core and
+// stayed under its budget.
+func wantSpilled(t *testing.T, qs *obs.QueryStats, limit int64) {
+	t.Helper()
+	if qs.SpillRuns() == 0 {
+		t.Fatal("constrained query did not spill (working set fit the budget; grow the data)")
+	}
+	if qs.SpillBytes() == 0 {
+		t.Fatal("spill runs recorded but zero spill bytes")
+	}
+	if peak := qs.MemPeak(); peak > limit {
+		t.Fatalf("tracker high-water %d exceeds budget %d", peak, limit)
+	}
+}
+
+// TestSpillOrderByEquivalence: a full sort ~10x over budget externalizes
+// into spilled sorted runs and merges back the exact in-memory order.
+func TestSpillOrderByEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const limit = 512 << 10
+	rows := spillRows(rng, 60_000, 500) // ~5 MiB working set
+	memSess, ocSess := newSpillPair(t, "big", spillSchema(), rows, limit,
+		Config{TablePartitions: 8, ShufflePartitions: 4, Parallelism: 2})
+
+	for _, q := range []string{
+		"SELECT id, val, grp FROM big ORDER BY val, id",
+		"SELECT id, val FROM big ORDER BY val DESC, id DESC",
+	} {
+		want, _ := collectStats(t, memSess, q)
+		got, qs := collectStats(t, ocSess, q)
+		wantSameRows(t, got, want, true)
+		wantSpilled(t, qs, limit)
+	}
+}
+
+// TestSpillGroupByEquivalence: a shuffle GROUP BY whose shuffled partial
+// results dwarf the budget (fat keys, most groups present in most of the
+// many map partitions) spills its shuffle runs and aggregates
+// identically. The budget still has to fit the per-task hash-aggregate
+// tables — those don't spill — so pressure comes from the exchange.
+func TestSpillGroupByEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const limit = 1 << 20
+	rows := spillRows(rng, 120_000, 3_000)
+	memSess, ocSess := newSpillPair(t, "big", spillSchema(), rows, limit,
+		Config{TablePartitions: 64, ShufflePartitions: 4, Parallelism: 2})
+
+	q := "SELECT grp, COUNT(*), SUM(id), MIN(val) FROM big GROUP BY grp"
+	want, _ := collectStats(t, memSess, q)
+	got, qs := collectStats(t, ocSess, q)
+	wantSameRows(t, got, want, false)
+	wantSpilled(t, qs, limit)
+}
+
+// TestSpillJoinEquivalence: a shuffle hash join whose shuffled probe side
+// is ~10x over budget spills both exchanges; the build side streams back
+// from disk into the hash table. The joined rows feed an aggregate so the
+// (charged, unspillable) result buffer stays small and the pressure is
+// all on the join's own state.
+func TestSpillJoinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const limit = 1 << 20
+	// Left: 120k rows, val ∈ [0,5000) with ~5% NULLs that must never
+	// join, fat grp payload so the shuffled side is ~10 MiB.
+	pad := strings.Repeat("y", 48)
+	left := make([]Row, 120_000)
+	for i := range left {
+		var val any
+		if rng.Intn(20) != 0 {
+			val = int64(rng.Intn(5_000))
+		}
+		left[i] = R(int64(i), val, fmt.Sprintf("left-%s-%06d", pad, i))
+	}
+	// BroadcastThreshold 1 forces the shuffle hash join: the small right
+	// side would otherwise broadcast and no join exchange would exist.
+	memSess, ocSess := newSpillPair(t, "l", spillSchema(), left, limit,
+		Config{TablePartitions: 8, ShufflePartitions: 4, Parallelism: 2, BroadcastThreshold: 1})
+	// Right side: each key in [0,1250) appears twice (duplicate matches),
+	// vals partly NULL.
+	var right []Row
+	for i := 0; i < 2_500; i++ {
+		var val any
+		if i%11 != 0 {
+			val = int64(i)
+		}
+		right = append(right, R(int64(i%1_250), val, fmt.Sprintf("r-%06d", i)))
+	}
+	for _, s := range []*Session{memSess, ocSess} {
+		if _, err := s.CreateTable("r", spillSchema(), right); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := "SELECT r.id, COUNT(*), MIN(l.grp) FROM l JOIN r ON l.val = r.id GROUP BY r.id"
+	want, _ := collectStats(t, memSess, q)
+	got, qs := collectStats(t, ocSess, q)
+	if len(want) == 0 {
+		t.Fatal("join produced no rows; fixture broken")
+	}
+	wantSameRows(t, got, want, false)
+	wantSpilled(t, qs, limit)
+}
+
+// TestSpillEmptyPartitions: tiny tables over many partitions (most empty)
+// behave identically with spilling configured — the degenerate end of the
+// run-file format (zero-row runs, empty batches).
+func TestSpillEmptyPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := spillRows(rng, 5, 2)
+	memSess, ocSess := newSpillPair(t, "tiny", spillSchema(), rows, 1<<20,
+		Config{TablePartitions: 16, ShufflePartitions: 4, Parallelism: 2})
+
+	for _, q := range []string{
+		"SELECT id, val FROM tiny ORDER BY val, id",
+		"SELECT grp, COUNT(*) FROM tiny GROUP BY grp",
+	} {
+		want, _ := collectStats(t, memSess, q)
+		got, _ := collectStats(t, ocSess, q)
+		wantSameRows(t, got, want, strings.Contains(q, "ORDER BY"))
+	}
+}
+
+// TestSpillEarlyCloseCleanup: abandoning a spilling cursor after a few
+// rows must reap every run file and fd (the deferred CheckNoFiles /
+// CheckFDs assert it), and the session keeps answering queries.
+func TestSpillEarlyCloseCleanup(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const limit = 512 << 10
+	rows := spillRows(rng, 60_000, 500)
+	_, ocSess := newSpillPair(t, "big", spillSchema(), rows, limit,
+		Config{TablePartitions: 8, ShufflePartitions: 4, Parallelism: 2})
+
+	cur, err := ocSess.Query(context.Background(), "SELECT id, val, grp FROM big ORDER BY val, id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && cur.Next(); i++ {
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitShufflesReleased(t, ocSess)
+
+	got, qs := collectStats(t, ocSess, "SELECT COUNT(*) FROM big")
+	if len(got) != 1 || got[0][0].Int64Val() != 60_000 {
+		t.Fatalf("post-close query broken: %v", got)
+	}
+	_ = qs
+}
