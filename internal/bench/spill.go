@@ -37,6 +37,31 @@ type SpillReport struct {
 	AggRuns        int64         `json:"agg_spill_runs"`
 	AggBytes       int64         `json:"agg_spill_bytes"`
 	AggResultRows  int           `json:"agg_result_rows"`
+
+	// Parallel-merge ablation: the same over-budget sort with
+	// SortPartitions=1 (the single k-way merge the range-partitioned
+	// parallel merge replaced). SortSpill above IS the parallel merge.
+	SortSingle       time.Duration `json:"sort_singlemerge_ns"`
+	SortSingleAllocs int64         `json:"sort_singlemerge_alloc_bytes"`
+
+	// Spilling hash aggregate: a GROUP BY whose group table itself (not
+	// just the exchange) outgrows the budget and fans out to disk.
+	AggOvfSpill       time.Duration `json:"aggtable_spill_ns"`
+	AggOvfInMem       time.Duration `json:"aggtable_inmem_ns"`
+	AggOvfSpillAllocs int64         `json:"aggtable_spill_alloc_bytes"`
+	AggOvfInMemAllocs int64         `json:"aggtable_inmem_alloc_bytes"`
+	AggOvfRuns        int64         `json:"aggtable_spill_runs"`
+	AggOvfBytes       int64         `json:"aggtable_spill_bytes"`
+
+	// Grace hash join: a shuffle join whose build side outgrows the
+	// budget, fanning both sides into partition pairs joined one at a
+	// time.
+	GraceSpill       time.Duration `json:"grace_spill_ns"`
+	GraceInMem       time.Duration `json:"grace_inmem_ns"`
+	GraceSpillAllocs int64         `json:"grace_spill_alloc_bytes"`
+	GraceInMemAllocs int64         `json:"grace_inmem_alloc_bytes"`
+	GraceRuns        int64         `json:"grace_spill_runs"`
+	GraceBytes       int64         `json:"grace_spill_bytes"`
 }
 
 // SortSlowdown returns spill/in-memory wall time for the full sort.
@@ -55,6 +80,32 @@ func (r SpillReport) AggSlowdown() float64 {
 	return float64(r.AggSpill) / float64(r.AggInMem)
 }
 
+// ParallelSpeedup returns single-merge/parallel-merge wall time for the
+// over-budget sort (>1 means the range-partitioned merge wins).
+func (r SpillReport) ParallelSpeedup() float64 {
+	if r.SortSpill <= 0 {
+		return 0
+	}
+	return float64(r.SortSingle) / float64(r.SortSpill)
+}
+
+// AggOvfSlowdown returns spill/in-memory wall time for the GROUP BY whose
+// group table overflows.
+func (r SpillReport) AggOvfSlowdown() float64 {
+	if r.AggOvfInMem <= 0 {
+		return 0
+	}
+	return float64(r.AggOvfSpill) / float64(r.AggOvfInMem)
+}
+
+// GraceSlowdown returns spill/in-memory wall time for the grace join.
+func (r SpillReport) GraceSlowdown() float64 {
+	if r.GraceInMem <= 0 {
+		return 0
+	}
+	return float64(r.GraceSpill) / float64(r.GraceInMem)
+}
+
 // SpillPipeline measures a full ORDER BY and a shuffle GROUP BY over rows
 // rows (fat string payloads, groups distinct keys) twice: unconstrained,
 // and under budget bytes with spilling enabled. Both runs must agree on
@@ -71,10 +122,13 @@ func SpillPipeline(rows, groups int, budget int64, iters int) (SpillReport, erro
 
 	// Many narrow table partitions keep the unspillable per-task aggregate
 	// tables small while multiplying the shuffled partial results the
-	// fabric has to absorb.
-	base := indexeddf.Config{TablePartitions: 64, ShufflePartitions: 4, Parallelism: 2}
-	mk := func(constrained bool) (*indexeddf.Session, error) {
+	// fabric has to absorb. BroadcastThreshold 1 forces the join workload
+	// through the shuffle hash join (whose build side is what goes grace).
+	base := indexeddf.Config{TablePartitions: 64, ShufflePartitions: 4, Parallelism: 2,
+		BroadcastThreshold: 1}
+	mk := func(constrained bool, sortPartitions int) (*indexeddf.Session, error) {
 		cfg := base
+		cfg.SortPartitions = sortPartitions
 		if constrained {
 			cfg.QueryMemoryLimit = budget
 			cfg.SpillDir = dir
@@ -93,11 +147,25 @@ func SpillPipeline(rows, groups int, budget int64, iters int) (SpillReport, erro
 		if _, err := sess.CreateTable("t", schema, data); err != nil {
 			return nil, err
 		}
+		// Join build side: rows/2 fat rows whose keys hit t.v with 5
+		// duplicates each — per reduce co-partition it overflows the
+		// budget, so the constrained join goes grace.
+		bdata := make([]indexeddf.Row, rows/2)
+		for i := range bdata {
+			bdata[i] = indexeddf.R(int64(i%(rows/10)), int64(i), fmt.Sprintf("%s-%08d", pad, i))
+		}
+		if _, err := sess.CreateTable("b", schema, bdata); err != nil {
+			return nil, err
+		}
 		return sess, nil
 	}
 
 	sortQ := "SELECT k, v, pad FROM t ORDER BY v, k"
 	aggQ := "SELECT k, COUNT(*) AS cnt, SUM(v) AS total, MIN(pad) AS p FROM t GROUP BY k"
+	// Every v is distinct, so the group table holds one entry per input
+	// row — far over any budget — while HAVING keeps the output empty.
+	aggOvfQ := "SELECT v, COUNT(*) AS c FROM t GROUP BY v HAVING COUNT(*) > 1"
+	graceQ := "SELECT COUNT(*) AS c, SUM(t.k) AS sk FROM t JOIN b ON t.v = b.k"
 
 	// run drains the cursor (the sort output streams — no gather) and
 	// returns row count plus the query's spill totals.
@@ -132,15 +200,20 @@ func SpillPipeline(rows, groups int, budget int64, iters int) (SpillReport, erro
 		return median(times), int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters), nil
 	}
 
-	inMem, err := mk(false)
+	inMem, err := mk(false, 0)
 	if err != nil {
 		return SpillReport{}, err
 	}
-	spillSess, err := mk(true)
+	spillSess, err := mk(true, 0)
 	if err != nil {
 		return SpillReport{}, err
 	}
 	defer spillSess.Close()
+	singleSess, err := mk(true, 1)
+	if err != nil {
+		return SpillReport{}, err
+	}
+	defer singleSess.Close()
 
 	r := SpillReport{Rows: rows, Groups: groups, Budget: budget}
 	for _, w := range []struct {
@@ -171,6 +244,51 @@ func SpillPipeline(rows, groups int, budget int64, iters int) (SpillReport, erro
 			return SpillReport{}, fmt.Errorf("bench: constrained run did not spill (budget %d too generous): %s", budget, w.q)
 		}
 		*w.runs, *w.bytes, *w.n = runs, bytes, wantN
+		if *w.spillT, *w.spillA, err = measure(spillSess, w.q); err != nil {
+			return SpillReport{}, err
+		}
+		if *w.inmemT, *w.inmemA, err = measure(inMem, w.q); err != nil {
+			return SpillReport{}, err
+		}
+	}
+
+	// Ablation: the identical over-budget sort through the single k-way
+	// merge instead of the range-partitioned parallel merge.
+	if n, _, _, err := run(singleSess, sortQ); err != nil {
+		return SpillReport{}, err
+	} else if n != r.SortResultRows {
+		return SpillReport{}, fmt.Errorf("bench: single-merge sort returned %d rows, parallel %d", n, r.SortResultRows)
+	}
+	if r.SortSingle, r.SortSingleAllocs, err = measure(singleSess, sortQ); err != nil {
+		return SpillReport{}, err
+	}
+
+	// The two new out-of-core operator paths: group-table overflow and
+	// the grace join.
+	for _, w := range []struct {
+		q              string
+		runs, bytes    *int64
+		spillT, inmemT *time.Duration
+		spillA, inmemA *int64
+	}{
+		{aggOvfQ, &r.AggOvfRuns, &r.AggOvfBytes, &r.AggOvfSpill, &r.AggOvfInMem, &r.AggOvfSpillAllocs, &r.AggOvfInMemAllocs},
+		{graceQ, &r.GraceRuns, &r.GraceBytes, &r.GraceSpill, &r.GraceInMem, &r.GraceSpillAllocs, &r.GraceInMemAllocs},
+	} {
+		wantN, _, _, err := run(inMem, w.q)
+		if err != nil {
+			return SpillReport{}, err
+		}
+		gotN, runs, bytes, err := run(spillSess, w.q)
+		if err != nil {
+			return SpillReport{}, err
+		}
+		if gotN != wantN {
+			return SpillReport{}, fmt.Errorf("bench: spill and in-memory runs disagree (%d vs %d rows): %s", gotN, wantN, w.q)
+		}
+		if runs == 0 {
+			return SpillReport{}, fmt.Errorf("bench: constrained run did not spill (budget %d too generous): %s", budget, w.q)
+		}
+		*w.runs, *w.bytes = runs, bytes
 		if *w.spillT, *w.spillA, err = measure(spillSess, w.q); err != nil {
 			return SpillReport{}, err
 		}

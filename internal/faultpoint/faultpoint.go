@@ -44,11 +44,14 @@ const (
 	// SpillRead fires when a spilled run is opened and before each batch
 	// is decoded from it.
 	SpillRead Point = "spill.read"
+	// SpillPartition fires when an out-of-core operator fans its state out
+	// into spill partitions (agg table flush, grace-join repartition).
+	SpillPartition Point = "spill.partition"
 )
 
 // Points lists every compiled-in site (chaos tests sweep them).
 func Points() []Point {
-	return []Point{TaskStart, ShuffleWrite, ShuffleFetch, BatchSeal, ViewRefresh, IngestAppend, SpillWrite, SpillRead}
+	return []Point{TaskStart, ShuffleWrite, ShuffleFetch, BatchSeal, ViewRefresh, IngestAppend, SpillWrite, SpillRead, SpillPartition}
 }
 
 // Schedule describes what an armed point does when hit.

@@ -42,6 +42,65 @@ type OpStats struct {
 
 	spillBytes atomic.Int64 // bytes written to spill run files
 	spillRuns  atomic.Int64 // runs this operator spilled to disk
+
+	partitions atomic.Int64 // range partitions of a parallel merge (max)
+	fanout     atomic.Int64 // spill fan-out width (max)
+	depth      atomic.Int64 // spill repartition recursion depth (max)
+}
+
+// storeMax raises a to n if n is larger (lock-free max).
+func storeMax(a *atomic.Int64, n int64) {
+	for {
+		cur := a.Load()
+		if n <= cur || a.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// NotePartitions records the width of a range-partitioned merge.
+func (s *OpStats) NotePartitions(n int64) {
+	if s != nil {
+		storeMax(&s.partitions, n)
+	}
+}
+
+// NoteFanout records the fan-out width of a spill repartitioning.
+func (s *OpStats) NoteFanout(n int64) {
+	if s != nil {
+		storeMax(&s.fanout, n)
+	}
+}
+
+// NoteDepth records how deep a spill repartitioning recursed.
+func (s *OpStats) NoteDepth(n int64) {
+	if s != nil {
+		storeMax(&s.depth, n)
+	}
+}
+
+// Partitions returns the recorded range-merge width (0 = single merge).
+func (s *OpStats) Partitions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.partitions.Load()
+}
+
+// Fanout returns the recorded spill fan-out width (0 = never fanned out).
+func (s *OpStats) Fanout() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.fanout.Load()
+}
+
+// Depth returns the deepest spill repartition recursion level.
+func (s *OpStats) Depth() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.depth.Load()
 }
 
 // AddRowsIn records n input rows.

@@ -17,6 +17,12 @@ type PlannerConfig struct {
 	// BroadcastThreshold is the estimated row count under which a join
 	// side is broadcast instead of shuffled.
 	BroadcastThreshold int64
+	// SortPartitions is the reduce-side partition count for a vectorized
+	// sort's final merge stage when spilling is enabled (the
+	// range-partitioned parallel merge). 0 follows ShufflePartitions;
+	// 1 forces the single k-way merge task (the pre-range behavior, kept
+	// as the ablation baseline).
+	SortPartitions int
 	// DisableVectorized turns off the batch-at-a-time operator rewrite,
 	// forcing row-at-a-time execution everywhere (benchmarks use it to
 	// measure the vectorized engine against the row engine).
@@ -49,6 +55,9 @@ func NewPlanner(cfg PlannerConfig) *Planner {
 	if cfg.BroadcastThreshold <= 0 {
 		cfg.BroadcastThreshold = 10_000
 	}
+	if cfg.SortPartitions <= 0 {
+		cfg.SortPartitions = cfg.ShufflePartitions
+	}
 	return &Planner{cfg: cfg}
 }
 
@@ -62,8 +71,21 @@ func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
 	}
 	if !pl.cfg.DisableVectorized {
 		e = vectorize(e, false) // the root feeds the driver's row collect
+		setSortParallelism(e, pl.cfg.SortPartitions)
 	}
 	return e, nil
+}
+
+// setSortParallelism stamps the configured range-merge width onto every
+// vectorized sort in the finished tree (a post-vectorize pass: the
+// rewrite itself builds VecSortExec nodes in several places).
+func setSortParallelism(e physical.Exec, n int) {
+	if s, ok := e.(*physical.VecSortExec); ok {
+		s.Parallel = n
+	}
+	for _, c := range e.Children() {
+		setSortParallelism(c, n)
+	}
 }
 
 // plan is the recursive strategy dispatch (row operators only; the

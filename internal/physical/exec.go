@@ -144,6 +144,15 @@ func (ec *ExecContext) AnalyzeString(root Exec) string {
 			if runs := st.SpillRuns(); runs > 0 {
 				fmt.Fprintf(&sb, " spill=%s/%d runs", obs.FormatBytes(st.SpillBytes()), runs)
 			}
+			if p := st.Partitions(); p > 0 {
+				fmt.Fprintf(&sb, " partitions=%d", p)
+			}
+			if f := st.Fanout(); f > 0 {
+				fmt.Fprintf(&sb, " fanout=%d", f)
+			}
+			if d := st.Depth(); d > 0 {
+				fmt.Fprintf(&sb, " depth=%d", d)
+			}
 			sb.WriteByte(')')
 		}
 		sb.WriteByte('\n')

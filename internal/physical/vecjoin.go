@@ -1,13 +1,17 @@
 package physical
 
 import (
+	"errors"
 	"fmt"
 
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/core"
 	"indexeddf/internal/expr"
+	"indexeddf/internal/faultpoint"
+	"indexeddf/internal/memory"
 	"indexeddf/internal/obs"
 	"indexeddf/internal/rdd"
+	"indexeddf/internal/spill"
 	"indexeddf/internal/sqltypes"
 	"indexeddf/internal/vector"
 )
@@ -51,6 +55,39 @@ func appendJoined(out, b *vector.Batch, i int, build sqltypes.Row, streamIsLeft 
 	return nil
 }
 
+// appendJoinedRef appends stream row i of b joined with build-store row
+// bi of bb — the columnar counterpart of appendJoined: no build row is
+// ever materialized, both sides copy lane-to-lane.
+func appendJoinedRef(out, b *vector.Batch, i int, bb *vector.Batch, bi int, streamIsLeft bool) error {
+	if streamIsLeft {
+		for c, col := range b.Cols {
+			if err := out.Cols[c].Append(col.Get(i)); err != nil {
+				return err
+			}
+		}
+		off := len(b.Cols)
+		for c, col := range bb.Cols {
+			if err := out.Cols[off+c].Append(col.Get(bi)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for c, col := range bb.Cols {
+			if err := out.Cols[c].Append(col.Get(bi)); err != nil {
+				return err
+			}
+		}
+		off := len(bb.Cols)
+		for c, col := range b.Cols {
+			if err := out.Cols[off+c].Append(col.Get(i)); err != nil {
+				return err
+			}
+		}
+	}
+	out.SetLen(out.Len() + 1)
+	return nil
+}
+
 // residualFilter applies a compiled residual to the joined batch, gathering
 // survivors into filtered. Returns nil when nothing survives.
 func residualFilter(residual *expr.VecExpr, out, filtered *vector.Batch, sel *[]int) (*vector.Batch, error) {
@@ -84,49 +121,82 @@ func compileResidual(residual expr.Expr) (*expr.VecExpr, error) {
 	return ve, nil
 }
 
-// buildHashTableFromBatches streams the build side into the hash table
-// batch-at-a-time, so a spilled build input feeds construction straight
-// from its run reader instead of rematerializing as one row slice. Rows
-// are materialized per insert (the table retains them; the source batch
-// is owned by its iterator and reused).
-func buildHashTableFromBatches(in vector.BatchIter, keys []int, st *obs.OpStats) (joinTable, error) {
-	ht := joinTable{m: make(map[string]*joinBucket)}
-	var buf []byte
-	for {
-		b, err := in.Next()
-		if err != nil {
-			return joinTable{}, err
-		}
-		if b == nil {
-			return ht, nil
-		}
-		st.AddRowsIn(int64(b.Len()))
-		n := b.Len()
-	rows:
-		for i := 0; i < n; i++ {
-			for _, k := range keys {
-				if b.Cols[k].IsNull(i) {
-					continue rows // null keys never join
-				}
+// ---------------------------------------------------------------------------
+// Batch-referencing build table
+
+// joinRefBytes estimates one build row's table overhead beyond its batch
+// bytes: the packed ref plus its share of bucket and map-entry state.
+const joinRefBytes = 24
+
+// vecJoinTable is the vectorized build-side hash table: build batches are
+// retained whole in a store and buckets hold packed (batch, row) refs, so
+// building never materializes a row and matches copy lane-to-lane at
+// probe time. Rows with NULL keys are dropped at insert (they never join
+// an inner equi-join).
+type vecJoinTable struct {
+	m     map[string]*refBucket
+	store []*vector.Batch
+}
+
+type refBucket struct{ refs []int64 }
+
+func newVecJoinTable() *vecJoinTable {
+	return &vecJoinTable{m: make(map[string]*refBucket)}
+}
+
+// add retains b in the store and indexes its non-NULL-key rows.
+func (t *vecJoinTable) add(b *vector.Batch, keys []int, buf *[]byte) {
+	t.store = append(t.store, b)
+	bi := int64(len(t.store)-1) << 32
+	n := b.Len()
+rows:
+	for i := 0; i < n; i++ {
+		for _, k := range keys {
+			if b.Cols[k].IsNull(i) {
+				continue rows // null keys never join
 			}
-			buf = buf[:0]
-			for _, k := range keys {
-				buf = AppendValueKey(buf, b.Cols[k].Get(i))
-			}
-			bk := ht.m[string(buf)]
-			if bk == nil {
-				bk = &joinBucket{}
-				ht.m[string(buf)] = bk
-			}
-			bk.rows = append(bk.rows, b.Row(i))
 		}
+		*buf = (*buf)[:0]
+		for _, k := range keys {
+			*buf = AppendValueKey(*buf, b.Cols[k].Get(i))
+		}
+		bk := t.m[string(*buf)]
+		if bk == nil {
+			bk = &refBucket{}
+			t.m[string(*buf)] = bk
+		}
+		bk.refs = append(bk.refs, bi|int64(i))
 	}
 }
 
-// vecProbeIter joins stream batches against a build-side hash table.
+// buildVecTableFromRows builds a referencing table from collected rows
+// (the broadcast build side): rows pack into dense batches once, and the
+// table indexes those.
+func buildVecTableFromRows(rows []sqltypes.Row, schema *sqltypes.Schema, keys []int) (*vecJoinTable, error) {
+	ht := newVecJoinTable()
+	var buf []byte
+	var cur *vector.Batch
+	for _, r := range rows {
+		if cur == nil || cur.Len() >= vector.DefaultBatchSize {
+			if cur != nil {
+				ht.add(cur, keys, &buf)
+			}
+			cur = vector.NewBatch(schema)
+		}
+		if err := cur.AppendRow(r); err != nil {
+			return nil, err
+		}
+	}
+	if cur != nil && cur.Len() > 0 {
+		ht.add(cur, keys, &buf)
+	}
+	return ht, nil
+}
+
+// vecProbeIter joins stream batches against a build-side table.
 type vecProbeIter struct {
 	in            vector.BatchIter
-	ht            joinTable
+	ht            *vecJoinTable
 	keys          []int
 	streamIsLeft  bool
 	residual      *expr.VecExpr
@@ -134,7 +204,9 @@ type vecProbeIter struct {
 	keyBuf        []byte
 	sel           []int
 	// st, when set, receives per-batch probe-side input counts (matches are
-	// counted by the obs.Batches wrapper around this iterator).
+	// counted by the obs.Batches wrapper around this iterator). Grace-join
+	// partition probes pass nil: their input was already counted when the
+	// probe side was scattered.
 	st *obs.OpStats
 }
 
@@ -159,9 +231,12 @@ func (it *vecProbeIter) Next() (*vector.Batch, error) {
 			for _, k := range it.keys {
 				it.keyBuf = AppendValueKey(it.keyBuf, b.Cols[k].Get(i))
 			}
-			for _, m := range it.ht.Lookup(it.keyBuf) {
-				if err := appendJoined(it.out, b, i, m, it.streamIsLeft); err != nil {
-					return nil, err
+			if bk := it.ht.m[string(it.keyBuf)]; bk != nil {
+				for _, ref := range bk.refs {
+					bb := it.ht.store[ref>>32]
+					if err := appendJoinedRef(it.out, b, i, bb, int(ref&0xffffffff), it.streamIsLeft); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -218,7 +293,10 @@ func (j *VecBroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	ht := buildHashTable(buildRows, j.BuildKeys)
+	ht, err := buildVecTableFromRows(buildRows, j.Build.Schema(), j.BuildKeys)
+	if err != nil {
+		return nil, err
+	}
 	stream, err := j.Stream.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -242,7 +320,10 @@ func (j *VecBroadcastHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 
 // VecShuffleHashJoinExec is the vectorized inner ShuffleHashJoinExec: both
 // sides hash-partitioned, the right co-partition built into a table, the
-// left probed through it batch-at-a-time.
+// left probed through it batch-at-a-time. The build side's batches are
+// cloned straight into the referencing table (no row conversion) and
+// charged to the query budget; a build that outgrows it goes grace — see
+// graceJoin.
 type VecShuffleHashJoinExec struct {
 	Left, Right         Exec
 	LeftKeys, RightKeys []int
@@ -271,8 +352,7 @@ func (j *VecShuffleHashJoinExec) String() string {
 
 // Execute implements Exec. Both sides cross the columnar exchange: the
 // probe side's batches splice straight through to the vectorized probe,
-// and the build side's batches are materialized into the hash table at
-// the reduce task (the one remaining row conversion on this path).
+// and the build side's batches clone into the referencing hash table.
 func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	left, err := j.Left.Execute(ec)
 	if err != nil {
@@ -289,23 +369,399 @@ func (j *VecShuffleHashJoinExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	outSchema := j.Schema()
 	lKeys, rKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
 	st := ec.Stats(j)
-	return ec.RDD.NewZipRDD(ls, rs, func(_ *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
-		ht, err := buildHashTableFromBatches(
-			vector.AsBatchIter(rit, rightSchema, vector.DefaultBatchSize), rKeys, st)
-		if err != nil {
-			return nil, err
-		}
+	return ec.RDD.NewZipRDD(ls, rs, func(tc *rdd.TaskContext, _ int, lit, rit sqltypes.RowIter) (sqltypes.RowIter, error) {
 		res, err := compileResidual(residual)
 		if err != nil {
 			return nil, err
 		}
-		probe := &vecProbeIter{in: vector.AsBatchIter(lit, leftSchema, vector.DefaultBatchSize),
-			ht: ht, keys: lKeys, streamIsLeft: true, residual: res,
-			out: vector.NewBatch(outSchema), filtered: vector.NewBatch(outSchema), st: st}
+		gj := &graceJoin{
+			tc: tc, st: st,
+			buildSchema: rightSchema, probeSchema: leftSchema, outSchema: outSchema,
+			buildKeys: rKeys, probeKeys: lKeys,
+			streamIsLeft: true, residual: res,
+		}
+		out, err := gj.run(
+			vector.AsBatchIter(rit, rightSchema, vector.DefaultBatchSize),
+			vector.AsBatchIter(lit, leftSchema, vector.DefaultBatchSize))
+		if err != nil {
+			return nil, err
+		}
 		// Wrap at the batch level so a downstream vectorized consumer's
 		// AsBatchIter splices back to the instrumented iterator.
-		return vector.NewRowIter(obs.Batches(st, probe)), nil
+		return vector.NewRowIter(obs.Batches(st, out)), nil
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Grace hash join
+
+// graceJoin runs one co-partition of the shuffle hash join out-of-core
+// when its build side outgrows the budget. The in-memory path clones
+// build batches into the referencing table, charging each; when a
+// reservation is refused (and a spill manager exists), both sides fan
+// out: the table's retained batches plus the rest of the build input
+// scatter by build key into spillFanout spilled runs, the entire probe
+// input scatters by probe key with the same salt into matching runs, and
+// the partition pairs then join one at a time — each pair's build fits
+// or recurses with the next level's salt. At maxSpillDepth a pair stops
+// recursing and falls back to chunked probing: build what fits, re-read
+// the pair's probe run per chunk.
+type graceJoin struct {
+	tc          *rdd.TaskContext
+	st          *obs.OpStats
+	buildSchema *sqltypes.Schema
+	probeSchema *sqltypes.Schema
+	outSchema   *sqltypes.Schema
+	buildKeys   []int
+	probeKeys   []int
+	// streamIsLeft is the output column order: probe columns first.
+	streamIsLeft bool
+	residual     *expr.VecExpr
+}
+
+// run builds from bin and returns the join output over pin.
+func (gj *graceJoin) run(bin, pin vector.BatchIter) (vector.BatchIter, error) {
+	tc := gj.tc
+	mem := tc.Mem()
+	ht, charged, pending, err := gj.buildTable(nil, bin, true)
+	if err != nil {
+		return nil, err
+	}
+	if pending == nil {
+		// The whole build side fits: probe straight through, returning the
+		// table's charge when the output drains.
+		return releaseOnDrain(gj.probeIter(pin, ht, gj.st), mem, charged), nil
+	}
+	// Build overflowed: fan both sides out and join partition pairs.
+	if err := faultpoint.Hit(faultpoint.SpillPartition); err != nil {
+		return nil, err
+	}
+	gj.st.NoteFanout(spillFanout)
+	gj.st.NoteDepth(1)
+	bfan, err := newRunFan(tc, "VecHashJoin", gj.buildSchema, gj.buildKeys, 1, gj.st)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range ht.store {
+		if err := bfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := bfan.add(pending); err != nil {
+		return nil, err
+	}
+	mem.Release(charged)
+	for {
+		b, err := bin.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		gj.st.AddRowsIn(int64(b.Len()))
+		if err := bfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	pfan, err := newRunFan(tc, "VecHashJoin", gj.probeSchema, gj.probeKeys, 1, gj.st)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
+		b, err := pin.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		gj.st.AddRowsIn(int64(b.Len()))
+		if err := pfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	d := &graceDrainIter{gj: gj}
+	if err := d.pushPairs(bfan, pfan, 1); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// buildTable clones build batches into a referencing table, charging
+// each retained clone (plus ref overhead). seed, when non-nil, is an
+// already-cloned batch inserted first — charged if the budget allows,
+// retained uncharged otherwise (the chunked fallback's progress
+// guarantee: every chunk holds at least one batch). On a refused
+// reservation with spilling available the current clone is returned as
+// pending (uninserted) and in is left unconsumed; without spilling the
+// error surfaces — a too-big build fails fast instead of OOMing.
+func (gj *graceJoin) buildTable(seed *vector.Batch, in vector.BatchIter, countIn bool) (ht *vecJoinTable, charged int64, pending *vector.Batch, err error) {
+	tc := gj.tc
+	mem := tc.Mem()
+	external := tc.Ctx.SpillManager().Enabled() && mem != nil
+	ht = newVecJoinTable()
+	var buf []byte
+	if seed != nil {
+		need := seed.MemBytes() + int64(seed.Len())*joinRefBytes
+		if err := mem.Reserve("VecHashJoin", need); err == nil {
+			charged += need
+			gj.st.AddMem(need)
+		} else if !errors.Is(err, memory.ErrMemoryExceeded) {
+			return nil, charged, nil, err
+		}
+		ht.add(seed, gj.buildKeys, &buf)
+	}
+	for {
+		if err := tc.Err(); err != nil {
+			return nil, charged, nil, err
+		}
+		b, err := in.Next()
+		if err != nil {
+			return nil, charged, nil, err
+		}
+		if b == nil {
+			return ht, charged, nil, nil
+		}
+		if countIn {
+			gj.st.AddRowsIn(int64(b.Len()))
+		}
+		clone := b.Clone()
+		need := clone.MemBytes() + int64(clone.Len())*joinRefBytes
+		if rerr := mem.Reserve("VecHashJoin", need); rerr != nil {
+			if !external || !errors.Is(rerr, memory.ErrMemoryExceeded) {
+				return nil, charged, nil, rerr
+			}
+			return ht, charged, clone, nil
+		}
+		charged += need
+		gj.st.AddMem(need)
+		ht.add(clone, gj.buildKeys, &buf)
+	}
+}
+
+// probeIter wires a probe input to a built table.
+func (gj *graceJoin) probeIter(in vector.BatchIter, ht *vecJoinTable, st *obs.OpStats) vector.BatchIter {
+	return &vecProbeIter{in: in, ht: ht, keys: gj.probeKeys, streamIsLeft: gj.streamIsLeft,
+		residual: gj.residual, out: vector.NewBatch(gj.outSchema), filtered: vector.NewBatch(gj.outSchema), st: st}
+}
+
+// gracePair is one pending (build, probe) partition pair and its depth.
+type gracePair struct {
+	build, probe *spill.Run
+	level        int
+}
+
+// graceDrainIter joins the fan-out partition pairs one at a time: pop a
+// pair, build its build run into a table, stream its probe run through;
+// a pair whose build still overflows re-fans both runs with the next
+// level's salt and pushes its sub-pairs (LIFO — one lineage of pairs
+// open at a time). Resident state is bounded by one pair's build table.
+type graceDrainIter struct {
+	gj    *graceJoin
+	stack []gracePair
+	cur   vector.BatchIter
+}
+
+// pushPairs seals both fans and pushes the pairs whose partitions can
+// produce output (an empty build or probe partition joins nothing; both
+// runs are released on the spot).
+func (d *graceDrainIter) pushPairs(bfan, pfan *runFan, level int) error {
+	builds, err := bfan.sealAll()
+	if err != nil {
+		return err
+	}
+	probes, err := pfan.sealAll()
+	if err != nil {
+		return err
+	}
+	for i := range builds {
+		if builds[i].Rows() == 0 || probes[i].Rows() == 0 {
+			builds[i].Release()
+			probes[i].Release()
+			continue
+		}
+		d.stack = append(d.stack, gracePair{build: builds[i], probe: probes[i], level: level})
+	}
+	return nil
+}
+
+// Next implements vector.BatchIter.
+func (d *graceDrainIter) Next() (*vector.Batch, error) {
+	for {
+		if d.cur != nil {
+			b, err := d.cur.Next()
+			if b != nil || err != nil {
+				return b, err
+			}
+			d.cur = nil
+		}
+		if len(d.stack) == 0 {
+			return nil, nil
+		}
+		top := d.stack[len(d.stack)-1]
+		d.stack = d.stack[:len(d.stack)-1]
+		out, err := d.joinPair(top)
+		if err != nil {
+			return nil, err
+		}
+		d.cur = out // nil when the pair re-fanned into sub-pairs
+	}
+}
+
+// joinPair processes one partition pair. Returns its join output, or
+// (nil, nil) when the pair's build overflowed and its sub-pairs were
+// pushed instead.
+func (d *graceDrainIter) joinPair(pair gracePair) (vector.BatchIter, error) {
+	gj := d.gj
+	tc := gj.tc
+	mem := tc.Mem()
+	bin, err := pair.build.Open(tc.Err, true)
+	if err != nil {
+		return nil, err
+	}
+	ht, charged, pending, err := gj.buildTable(nil, bin, false)
+	if err != nil {
+		return nil, err
+	}
+	if pending == nil {
+		pit, err := pair.probe.Open(tc.Err, true)
+		if err != nil {
+			return nil, err
+		}
+		return releaseOnDrain(gj.probeIter(pit, ht, nil), mem, charged), nil
+	}
+	if pair.level >= maxSpillDepth {
+		// Can't subdivide further: join in chunks against the re-readable
+		// probe run.
+		return newChunkedJoin(gj, ht, charged, pending, bin, pair.probe), nil
+	}
+	if err := faultpoint.Hit(faultpoint.SpillPartition); err != nil {
+		return nil, err
+	}
+	gj.st.NoteDepth(int64(pair.level + 1))
+	salt := uint64(pair.level + 1)
+	bfan, err := newRunFan(tc, "VecHashJoin", gj.buildSchema, gj.buildKeys, salt, gj.st)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range ht.store {
+		if err := bfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := bfan.add(pending); err != nil {
+		return nil, err
+	}
+	mem.Release(charged)
+	for {
+		b, err := bin.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := bfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	pit, err := pair.probe.Open(tc.Err, true)
+	if err != nil {
+		return nil, err
+	}
+	pfan, err := newRunFan(tc, "VecHashJoin", gj.probeSchema, gj.probeKeys, salt, gj.st)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if err := tc.Err(); err != nil {
+			return nil, err
+		}
+		b, err := pit.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := pfan.add(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.pushPairs(bfan, pfan, pair.level+1); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// chunkedJoinIter is the depth-cap fallback: the build run is consumed
+// in what-fits chunks, and the whole probe run is re-read per chunk.
+// Each build row lands in exactly one chunk, so the union of chunk
+// outputs is exactly the pair's inner join; the cost is probe re-reads
+// proportional to the overflow factor — paid only when 8^maxSpillDepth
+// partitions still couldn't isolate a budget-sized build.
+type chunkedJoinIter struct {
+	gj      *graceJoin
+	ht      *vecJoinTable
+	charged int64
+	pending *vector.Batch
+	bin     vector.BatchIter // remaining build input (nil once exhausted)
+	probe   *spill.Run
+	cur     vector.BatchIter // probe pass over the current chunk
+	done    bool
+}
+
+func newChunkedJoin(gj *graceJoin, ht *vecJoinTable, charged int64, pending *vector.Batch, bin vector.BatchIter, probe *spill.Run) *chunkedJoinIter {
+	return &chunkedJoinIter{gj: gj, ht: ht, charged: charged, pending: pending, bin: bin, probe: probe}
+}
+
+// Next implements vector.BatchIter.
+func (it *chunkedJoinIter) Next() (*vector.Batch, error) {
+	gj := it.gj
+	for {
+		if it.done {
+			return nil, nil
+		}
+		if it.cur == nil {
+			if it.ht == nil {
+				// Build the next chunk, seeded by the batch that overflowed
+				// the previous one.
+				ht, charged, pending, err := gj.buildTable(it.pending, it.bin, false)
+				if err != nil {
+					return nil, err
+				}
+				it.ht, it.charged, it.pending = ht, charged, pending
+				if pending == nil {
+					it.bin = nil // build input exhausted; this is the last pass
+				}
+			}
+			// Re-readable probe pass: no autoRelease — the run must survive
+			// until the last chunk.
+			pit, err := it.probe.Open(gj.tc.Err, false)
+			if err != nil {
+				return nil, err
+			}
+			it.cur = gj.probeIter(pit, it.ht, nil)
+		}
+		b, err := it.cur.Next()
+		if b != nil || err != nil {
+			return b, err
+		}
+		// Chunk finished: return its charge and move on.
+		it.cur = nil
+		it.ht = nil
+		gj.tc.Mem().Release(it.charged)
+		it.charged = 0
+		if it.bin == nil && it.pending == nil {
+			it.probe.Release()
+			it.done = true
+			return nil, nil
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,132 @@
+package physical
+
+import (
+	"indexeddf/internal/obs"
+	"indexeddf/internal/rdd"
+	"indexeddf/internal/spill"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/vector"
+)
+
+// Shared fan-out fabric for the out-of-core hash operators: when a hash
+// aggregate's group table or a hash join's build side outgrows its
+// reservation, the state is hash-partitioned by key into spillFanout run
+// files and each partition is processed independently — recursively, with
+// a different hash salt per level, until every partition fits the budget.
+
+const (
+	// spillFanout is the number of partitions one spill generation fans
+	// into. 8 divides the working set fast (8^2 = 64 partitions after two
+	// levels) while keeping the open-file and run-buffer cost of a
+	// generation small.
+	spillFanout = 8
+
+	// maxSpillDepth caps fan-out recursion. A partition still over budget
+	// after 8 levels (8^8 ≈ 16M-way split) means the budget cannot hold
+	// even ~1/16M of the distinct-key state; surfacing the memory error
+	// beats grinding the disk forever.
+	maxSpillDepth = 8
+
+	// spillScatterFlush is how many buffered scatter bytes accumulate
+	// before the per-partition builders are drained to their run files.
+	// The buffer is transient operator scratch (bounded, freed at seal),
+	// matching the exchange's spill writer granularity.
+	spillScatterFlush = 1 << 20
+)
+
+// runFan hash-partitions batches into spillFanout spill runs. Routing
+// hashes the key ordinals folded with a per-level salt, so recursing on
+// one partition (whose rows all collide under the previous level's
+// function) redistributes instead of re-colliding. Runs are spilled
+// up front: nothing a fan-out holds is charged resident state.
+type runFan struct {
+	runs    []*spill.Run
+	scatter *vector.Scatter
+	acc     int64
+}
+
+func newRunFan(tc *rdd.TaskContext, op string, schema *sqltypes.Schema, ords []int,
+	salt uint64, st *obs.OpStats) (*runFan, error) {
+	sp := tc.Ctx.SpillManager()
+	mem := tc.Mem()
+	qs := obs.FromContext(tc.Cancellation())
+	f := &runFan{
+		runs:    make([]*spill.Run, spillFanout),
+		scatter: vector.NewScatterSalted(schema, ords, spillFanout, salt),
+	}
+	for i := range f.runs {
+		r := sp.NewRun(op, schema, mem, st, qs)
+		if err := r.SpillNow(); err != nil {
+			return nil, err
+		}
+		f.runs[i] = r
+	}
+	return f, nil
+}
+
+// add routes b's rows to their partitions (copying them — the caller may
+// reuse b) and drains the builders to disk past the flush threshold.
+func (f *runFan) add(b *vector.Batch) error {
+	f.scatter.Add(b)
+	f.acc += b.MemBytes()
+	if f.acc >= spillScatterFlush {
+		return f.flush()
+	}
+	return nil
+}
+
+func (f *runFan) flush() error {
+	f.acc = 0
+	for r, batches := range f.scatter.Seal() {
+		for _, b := range batches {
+			if err := f.runs[r].Append(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seal drains and seals every run, releasing the empty ones and returning
+// the rest (the partitions that actually hold rows).
+func (f *runFan) seal() ([]*spill.Run, error) {
+	if err := f.flush(); err != nil {
+		return nil, err
+	}
+	out := make([]*spill.Run, 0, len(f.runs))
+	for _, r := range f.runs {
+		if err := r.Seal(); err != nil {
+			return nil, err
+		}
+		if r.Rows() == 0 {
+			r.Release()
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// sealAll drains and seals every run and returns all spillFanout of them
+// in partition order — empty ones included (the grace join pairs build
+// and probe runs by partition index, so positions must line up).
+func (f *runFan) sealAll() ([]*spill.Run, error) {
+	if err := f.flush(); err != nil {
+		return nil, err
+	}
+	for _, r := range f.runs {
+		if err := r.Seal(); err != nil {
+			return nil, err
+		}
+	}
+	return f.runs, nil
+}
+
+// release frees every run of an abandoned fan-out (error paths; the
+// query tracker's closers would reap them anyway, but eagerly returning
+// the disk space keeps long queries from accumulating dead files).
+func (f *runFan) release() {
+	for _, r := range f.runs {
+		r.Release()
+	}
+}

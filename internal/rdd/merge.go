@@ -53,3 +53,47 @@ func (r *BatchMergeRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error
 	}
 	return vector.NewRowIter(out), nil
 }
+
+// BatchRangeMergeRDD is the reduce side of a range-partitioned merge: the
+// parent's map tasks publish their sorted runs out of band (spill runs
+// plus splitter metadata on a shared coordinator) and the exchange itself
+// carries no rows — it exists only as the map→reduce barrier. Each of the
+// nParts reduce partitions then merges its key range directly from the
+// published runs, so partition outputs concatenate in splitter order.
+type BatchRangeMergeRDD struct {
+	id     int
+	dep    *ShuffleDependency
+	nParts int
+	merge  func(tc *TaskContext, p int) (vector.BatchIter, error)
+}
+
+// NewBatchRangeMergeRDD builds a range merge with nParts reduce partitions
+// over parent's (row-free) columnar exchange.
+func (c *Context) NewBatchRangeMergeRDD(parent RDD, schema *sqltypes.Schema, nParts int,
+	merge func(tc *TaskContext, p int) (vector.BatchIter, error)) *BatchRangeMergeRDD {
+	dep := &ShuffleDependency{
+		P:         parent,
+		ShuffleID: c.nextShuffleID(),
+		Batch:     &BatchExchange{Schema: schema, N: 1},
+	}
+	return &BatchRangeMergeRDD{id: c.nextRDDID(), dep: dep, nParts: nParts, merge: merge}
+}
+
+// ID implements RDD.
+func (r *BatchRangeMergeRDD) ID() int { return r.id }
+
+// NumPartitions implements RDD.
+func (r *BatchRangeMergeRDD) NumPartitions() int { return r.nParts }
+
+// Dependencies implements RDD.
+func (r *BatchRangeMergeRDD) Dependencies() []Dependency { return []Dependency{r.dep} }
+
+// Compute implements RDD. The (empty) exchange buckets are never opened;
+// teardown drops them like any unread shuffle output.
+func (r *BatchRangeMergeRDD) Compute(tc *TaskContext, p int) (sqltypes.RowIter, error) {
+	out, err := r.merge(tc, p)
+	if err != nil {
+		return nil, err
+	}
+	return vector.NewRowIter(out), nil
+}

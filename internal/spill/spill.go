@@ -300,6 +300,9 @@ type Run struct {
 	f        *os.File      // open while spilled and unsealed
 	w        *bufio.Writer // wraps f
 	path     string        // non-"" once spilled
+	offsets  []int64       // file offset of each batch (spilled form; OpenFrom seeks)
+	fileOff  int64         // next batch's file offset
+	enc      []byte        // lane encode scratch
 	sealed   bool
 	released bool
 	readers  map[*runReader]struct{}
@@ -490,6 +493,17 @@ func (r *Run) Seal() error {
 // soon as the reader is exhausted — the mode for single-consumer runs
 // (sort chunks); shuffle runs are instead released by ShuffleManager.Drop.
 func (r *Run) Open(interrupt func() error, autoRelease bool) (vector.BatchIter, error) {
+	return r.OpenFrom(0, interrupt, autoRelease)
+}
+
+// OpenFrom returns a reader positioned at batch index start (0 = Open's
+// behavior). The range-partitioned merge opens one sorted run at several
+// batch offsets, one per reducer, so each reducer decodes only the batches
+// overlapping its key range instead of the whole run.
+func (r *Run) OpenFrom(start int, interrupt func() error, autoRelease bool) (vector.BatchIter, error) {
+	if start < 0 {
+		start = 0
+	}
 	r.mu.Lock()
 	if r.released {
 		r.mu.Unlock()
@@ -499,10 +513,22 @@ func (r *Run) Open(interrupt func() error, autoRelease bool) (vector.BatchIter, 
 		batches := r.batches
 		r.mu.Unlock()
 		r.m.touch(r)
-		return &residentIter{run: r, batches: batches, interrupt: interrupt, autoRelease: autoRelease}, nil
+		if start > len(batches) {
+			start = len(batches)
+		}
+		return &residentIter{run: r, batches: batches, pos: start, interrupt: interrupt, autoRelease: autoRelease}, nil
 	}
 	nbatches := r.nbatches
 	path := r.path
+	var off int64
+	if start > 0 {
+		if start >= nbatches || start >= len(r.offsets) {
+			// Past the end: an immediately-exhausted reader.
+			r.mu.Unlock()
+			return &residentIter{run: r, interrupt: interrupt, autoRelease: autoRelease}, nil
+		}
+		off = r.offsets[start]
+	}
 	r.mu.Unlock()
 	if err := faultpoint.Hit(faultpoint.SpillRead); err != nil {
 		return nil, fmt.Errorf("spill: open run: %w", err)
@@ -511,18 +537,26 @@ func (r *Run) Open(interrupt func() error, autoRelease bool) (vector.BatchIter, 
 	if err != nil {
 		return nil, fmt.Errorf("spill: open run: %w", err)
 	}
+	// The header is always read and validated from the file head, even when
+	// the reader then seeks past it.
+	if err := readRunHeader(f, r); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("spill: seek run: %w", err)
+		}
+	}
 	rd := &runReader{
 		run:         r,
 		f:           f,
 		br:          bufio.NewReaderSize(f, readBufSz),
 		interrupt:   interrupt,
-		remaining:   nbatches,
+		remaining:   nbatches - start,
 		dec:         vector.NewBatch(r.schema),
 		autoRelease: autoRelease,
-	}
-	if err := rd.readHeader(); err != nil {
-		f.Close()
-		return nil, err
 	}
 	r.mu.Lock()
 	if r.released {
@@ -596,11 +630,24 @@ func (r *Run) writeHeaderLocked() error {
 			return fmt.Errorf("spill: write header: %w", err)
 		}
 	}
+	r.fileOff = int64(7 + r.schema.Len())
 	r.m.bytesWritten.Add(int64(7 + r.schema.Len()))
 	return nil
 }
 
-// writeLocked serializes one batch to the open run file.
+// growScratch returns buf resized to exactly n bytes, reallocating only
+// when capacity is short.
+func growScratch(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// writeLocked serializes one batch to the open run file, recording its
+// file offset so OpenFrom can seek straight to it. Fixed-width lanes and
+// null words are staged whole into the encode scratch and written with a
+// single call each, instead of 8 bytes at a time.
 func (r *Run) writeLocked(b *vector.Batch) error {
 	if err := faultpoint.Hit(faultpoint.SpillWrite); err != nil {
 		return fmt.Errorf("spill: write batch: %w", err)
@@ -608,11 +655,19 @@ func (r *Run) writeLocked(b *vector.Batch) error {
 	n := b.Len()
 	var scratch [8]byte
 	written := int64(0)
+	off := r.fileOff
 	put := func(p []byte) error {
 		if _, err := r.w.Write(p); err != nil {
 			return fmt.Errorf("spill: write batch: %w", err)
 		}
 		written += int64(len(p))
+		return nil
+	}
+	putStr := func(s string) error {
+		if _, err := r.w.WriteString(s); err != nil {
+			return fmt.Errorf("spill: write batch: %w", err)
+		}
+		written += int64(len(s))
 		return nil
 	}
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(n))
@@ -624,22 +679,26 @@ func (r *Run) writeLocked(b *vector.Batch) error {
 			if err := put([]byte{1}); err != nil {
 				return err
 			}
-			for _, w := range col.NullWords() {
-				binary.LittleEndian.PutUint64(scratch[:], w)
-				if err := put(scratch[:]); err != nil {
-					return err
-				}
+			words := col.NullWords()
+			r.enc = growScratch(r.enc, 8*len(words))
+			for i, w := range words {
+				binary.LittleEndian.PutUint64(r.enc[8*i:], w)
+			}
+			if err := put(r.enc); err != nil {
+				return err
 			}
 		} else if err := put([]byte{0}); err != nil {
 			return err
 		}
 		switch col.Type {
 		case sqltypes.Float64:
-			for _, v := range col.Float64s() {
-				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-				if err := put(scratch[:]); err != nil {
-					return err
-				}
+			vals := col.Float64s()
+			r.enc = growScratch(r.enc, 8*n)
+			for i, v := range vals {
+				binary.LittleEndian.PutUint64(r.enc[8*i:], math.Float64bits(v))
+			}
+			if err := put(r.enc); err != nil {
+				return err
 			}
 		case sqltypes.String:
 			for _, s := range col.Strings() {
@@ -647,19 +706,23 @@ func (r *Run) writeLocked(b *vector.Batch) error {
 				if err := put(scratch[:4]); err != nil {
 					return err
 				}
-				if err := put([]byte(s)); err != nil {
+				if err := putStr(s); err != nil {
 					return err
 				}
 			}
 		default:
-			for _, v := range col.Int64s() {
-				binary.LittleEndian.PutUint64(scratch[:], uint64(v))
-				if err := put(scratch[:]); err != nil {
-					return err
-				}
+			vals := col.Int64s()
+			r.enc = growScratch(r.enc, 8*n)
+			for i, v := range vals {
+				binary.LittleEndian.PutUint64(r.enc[8*i:], uint64(v))
+			}
+			if err := put(r.enc); err != nil {
+				return err
 			}
 		}
 	}
+	r.offsets = append(r.offsets, off)
+	r.fileOff = off + written
 	r.m.bytesWritten.Add(written)
 	r.st.AddSpill(written, 0)
 	r.qs.AddSpill(written, 0)
@@ -713,27 +776,29 @@ type runReader struct {
 	f         *os.File
 	br        *bufio.Reader
 	dec       *vector.Batch
+	buf       []byte // lane decode scratch
 	remaining int
 	closed    bool
 }
 
-func (rd *runReader) readHeader() error {
-	hdr := make([]byte, 7+rd.run.schema.Len())
-	if _, err := io.ReadFull(rd.br, hdr); err != nil {
+// readRunHeader reads and validates a run file's header from src.
+func readRunHeader(src io.Reader, r *Run) error {
+	hdr := make([]byte, 7+r.schema.Len())
+	if _, err := io.ReadFull(src, hdr); err != nil {
 		return fmt.Errorf("spill: read header: %w", err)
 	}
 	if string(hdr[:4]) != magic || hdr[4] != version {
 		return fmt.Errorf("spill: bad run file header")
 	}
-	if int(binary.LittleEndian.Uint16(hdr[5:7])) != rd.run.schema.Len() {
+	if int(binary.LittleEndian.Uint16(hdr[5:7])) != r.schema.Len() {
 		return fmt.Errorf("spill: run file column count mismatch")
 	}
-	for i, f := range rd.run.schema.Fields {
+	for i, f := range r.schema.Fields {
 		if hdr[7+i] != byte(f.Type) {
 			return fmt.Errorf("spill: run file column %d type mismatch", i)
 		}
 	}
-	rd.run.m.bytesRead.Add(int64(len(hdr)))
+	r.m.bytesRead.Add(int64(len(hdr)))
 	return nil
 }
 
@@ -789,6 +854,11 @@ func (rd *runReader) finishLocked() {
 	}
 }
 
+// Close releases the reader's file handle early — a range-trimmed merge
+// stops mid-run once it passes its upper bound. The run itself (and its
+// other readers) are unaffected.
+func (rd *runReader) Close() { rd.close() }
+
 // close is the abandonment path (run released mid-read).
 func (rd *runReader) close() {
 	rd.mu.Lock()
@@ -831,11 +901,12 @@ func (rd *runReader) decodeBatch() (*vector.Batch, error) {
 		}
 		if scratch[0] == 1 {
 			words := col.NullWords()
+			rd.buf = growScratch(rd.buf, 8*len(words))
+			if err := read(rd.buf); err != nil {
+				return nil, err
+			}
 			for i := range words {
-				if err := read(scratch[:]); err != nil {
-					return nil, err
-				}
-				words[i] = binary.LittleEndian.Uint64(scratch[:])
+				words[i] = binary.LittleEndian.Uint64(rd.buf[8*i:])
 			}
 			total += int64(8 * len(words))
 		}
@@ -843,11 +914,12 @@ func (rd *runReader) decodeBatch() (*vector.Batch, error) {
 		switch col.Type {
 		case sqltypes.Float64:
 			lane := col.Float64s()
+			rd.buf = growScratch(rd.buf, 8*n)
+			if err := read(rd.buf); err != nil {
+				return nil, err
+			}
 			for i := range lane {
-				if err := read(scratch[:]); err != nil {
-					return nil, err
-				}
-				lane[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+				lane[i] = math.Float64frombits(binary.LittleEndian.Uint64(rd.buf[8*i:]))
 			}
 			total += int64(8 * n)
 		case sqltypes.String:
@@ -874,11 +946,12 @@ func (rd *runReader) decodeBatch() (*vector.Batch, error) {
 			}
 		default:
 			lane := col.Int64s()
+			rd.buf = growScratch(rd.buf, 8*n)
+			if err := read(rd.buf); err != nil {
+				return nil, err
+			}
 			for i := range lane {
-				if err := read(scratch[:]); err != nil {
-					return nil, err
-				}
-				lane[i] = int64(binary.LittleEndian.Uint64(scratch[:]))
+				lane[i] = int64(binary.LittleEndian.Uint64(rd.buf[8*i:]))
 			}
 			total += int64(8 * n)
 		}

@@ -296,6 +296,23 @@ const HashSeed uint64 = fnvOffset64
 // the composite-key combiner shared by the row and columnar exchanges.
 func CombineHash(h, x uint64) uint64 { return fnvUint64(h, x) }
 
+// RehashSalted remixes a routing hash with a per-level salt through a
+// full-avalanche finalizer (splitmix64). Recursive spill fan-outs route
+// with this rather than folding the salt through FNV: FNV's byte-wise
+// fold carries almost no fresh entropy into the low bits from one salt
+// to the next, so conditioned on the previous level's bucket a salted
+// re-partitioning could send every row of a partition to the same
+// sub-bucket at every deeper level — recursion without subdivision.
+func RehashSalted(h, salt uint64) uint64 {
+	x := h + salt*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // HashInt64 hashes an integer-family payload (Bool/Int32/Int64/Timestamp
 // lanes all hash by their widened int64).
 func HashInt64(x int64) uint64 { return fnvUint64(HashSeed, uint64(x)) }

@@ -57,6 +57,19 @@ func (b *Batch) MemBytes() int64 {
 	return n
 }
 
+// Clone returns a deep copy of b that the caller owns. Consumers that
+// retain batches past the producer's next Next call (join build stores,
+// spill-bound buffers) clone out of the reuse contract with this.
+func (b *Batch) Clone() *Batch {
+	nb := NewBatch(b.Schema)
+	sel := make([]int, b.Len())
+	for i := range sel {
+		sel[i] = i
+	}
+	Gather(nb, b, sel)
+	return nb
+}
+
 // Reset empties the batch for reuse, keeping column capacity.
 func (b *Batch) Reset() {
 	for i, c := range b.Cols {

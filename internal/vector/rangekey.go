@@ -1,0 +1,98 @@
+package vector
+
+import (
+	"indexeddf/internal/columnar"
+	"indexeddf/internal/sqltypes"
+)
+
+// This file holds the boxed key-row helpers the range-partitioned merge
+// uses: the sort's map tasks box one key row per sealed spill batch, the
+// splitter computation orders those boxed rows, and the reduce tasks
+// compare batch rows against the boxed splitters to trim each run to its
+// range. All comparisons mirror KeyLanes.Compare exactly (NULL first
+// ascending, DESC flips the whole lane), so range boundaries agree with
+// the merge order, ties included.
+
+// KeyRowAt boxes key row i of the lanes as a value row (one value per sort
+// term). NULL keys box as sqltypes.Null; int-family lanes keep their
+// declared type so the boxed row re-encodes losslessly.
+func (k *KeyLanes) KeyRowAt(i int) []sqltypes.Value {
+	row := make([]sqltypes.Value, len(k.lanes))
+	for li := range k.lanes {
+		l := &k.lanes[li]
+		if l.isNull(i) {
+			row[li] = sqltypes.Null
+			continue
+		}
+		switch l.t {
+		case sqltypes.Float64:
+			row[li] = sqltypes.NewFloat64(l.f64[i])
+		case sqltypes.String:
+			row[li] = sqltypes.NewString(l.str[i])
+		default:
+			row[li] = sqltypes.Value{T: l.t, I: l.i64[i]}
+		}
+	}
+	return row
+}
+
+// CompareKeyRows orders two boxed key rows with KeyLanes.Compare semantics
+// (typed compare per lane, NULL first, desc flips the lane).
+func CompareKeyRows(a, b []sqltypes.Value, desc []bool) int {
+	for li := range a {
+		c := compareKeyValues(a[li], b[li])
+		if c == 0 {
+			continue
+		}
+		if desc[li] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// CompareVecsKeyRow orders row i of the evaluated key vectors against a
+// boxed key row, with the same per-lane semantics as CompareKeyRows.
+func CompareVecsKeyRow(cols []*columnar.Vector, i int, key []sqltypes.Value, desc []bool) int {
+	for li, v := range cols {
+		an := v.AnyNulls() && v.IsNull(i)
+		bn := key[li].IsNull()
+		var c int
+		if an || bn {
+			c = compareNulls(an, bn)
+		} else {
+			switch v.Type {
+			case sqltypes.Float64:
+				c = compareFloat64(v.Float64s()[i], key[li].F)
+			case sqltypes.String:
+				c = compareString(v.Strings()[i], key[li].S)
+			default:
+				c = compareInt64(v.Int64s()[i], key[li].I)
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		if desc[li] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+func compareKeyValues(a, b sqltypes.Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	if an || bn {
+		return compareNulls(an, bn)
+	}
+	switch a.T {
+	case sqltypes.Float64:
+		return compareFloat64(a.F, b.F)
+	case sqltypes.String:
+		return compareString(a.S, b.S)
+	default:
+		return compareInt64(a.I, b.I)
+	}
+}

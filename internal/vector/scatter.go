@@ -182,14 +182,27 @@ type Scatter struct {
 	hashes   []uint64
 	sel      [][]int
 	identity []int
+	salt     uint64
 }
 
 // NewScatter builds a scatter over nReduce reducers for batches of schema.
 func NewScatter(schema *sqltypes.Schema, ords []int, nReduce int) *Scatter {
+	return NewScatterSalted(schema, ords, nReduce, 0)
+}
+
+// NewScatterSalted builds a scatter whose routing hash is remixed with a
+// salt (sqltypes.RehashSalted) before the modulo. Recursive spill
+// fan-outs need this: the rows of one fan-out partition all share
+// `h % F`, so re-partitioning them with the same function would put
+// everything back in one bucket — each recursion level salts with a
+// distinct non-zero value to re-shuffle the hash space. Salt 0 routes
+// identically to NewScatter (the exchange).
+func NewScatterSalted(schema *sqltypes.Schema, ords []int, nReduce int, salt uint64) *Scatter {
 	s := &Scatter{
 		ords:     ords,
 		builders: make([]*BatchBuilder, nReduce),
 		sel:      make([][]int, nReduce),
+		salt:     salt,
 	}
 	for i := range s.builders {
 		s.builders[i] = NewBatchBuilder(schema, DefaultBatchSize)
@@ -216,9 +229,16 @@ func (s *Scatter) Add(b *Batch) {
 	for r := range s.sel {
 		s.sel[r] = s.sel[r][:0]
 	}
-	for i, h := range s.hashes {
-		r := h % nr
-		s.sel[r] = append(s.sel[r], i)
+	if s.salt != 0 {
+		for i, h := range s.hashes {
+			r := sqltypes.RehashSalted(h, s.salt) % nr
+			s.sel[r] = append(s.sel[r], i)
+		}
+	} else {
+		for i, h := range s.hashes {
+			r := h % nr
+			s.sel[r] = append(s.sel[r], i)
+		}
 	}
 	for r, sel := range s.sel {
 		if len(sel) > 0 {

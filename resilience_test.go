@@ -417,8 +417,10 @@ func TestIngestAppendFault(t *testing.T) {
 	}
 }
 
-// TestSpillFaultInjection arms faults at the spill fabric's two I/O sites
-// in turn and asserts the resilience contract for out-of-core queries: an
+// TestSpillFaultInjection arms faults at the spill fabric's injection
+// sites in turn — the run writer, the run reader, and the fan-out
+// partition step — and asserts the resilience contract for out-of-core
+// queries: an
 // injected write or read failure fails only its query (with the cause
 // intact through every wrapping layer), an injected panic is contained as
 // a *rdd.TaskPanicError, a delay merely slows the query down, no run
@@ -430,23 +432,32 @@ func TestSpillFaultInjection(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	testutil.CheckFDs(t)
 	s := newSpillBudgetSession(t, 120_000, 192<<10)
-	const q = "SELECT id, val FROM big ORDER BY val, id"
-	want, err := collectSQL(s, q)
-	if err != nil {
-		t.Fatal(err)
+	// The sort reaches the spill I/O sites; the high-cardinality GROUP BY
+	// overflows its group table and reaches the fan-out partition site
+	// (HAVING discards the — all-unique — groups so the query's charged
+	// result buffers stay tiny while every group crosses the fabric).
+	queries := map[faultpoint.Point]string{
+		faultpoint.SpillWrite:     "SELECT id, val FROM big ORDER BY val, id",
+		faultpoint.SpillRead:      "SELECT id, val FROM big ORDER BY val, id",
+		faultpoint.SpillPartition: "SELECT id, COUNT(*) FROM big GROUP BY id HAVING COUNT(*) > 1",
 	}
 
 	boom := errors.New("disk full")
-	for _, p := range []faultpoint.Point{faultpoint.SpillWrite, faultpoint.SpillRead} {
+	for _, p := range []faultpoint.Point{faultpoint.SpillWrite, faultpoint.SpillRead, faultpoint.SpillPartition} {
 		t.Run(string(p), func(t *testing.T) {
+			q := queries[p]
 			faultpoint.Reset()
+			want, err := collectSQL(s, q)
+			if err != nil {
+				t.Fatal(err)
+			}
 			faultpoint.Arm(p, faultpoint.Schedule{Err: boom, Limit: 1})
 			if _, err := collectSQL(s, q); !errors.Is(err, boom) {
 				t.Fatalf("err = %v, want wrapped injected %s failure", err, p)
 			}
 
 			faultpoint.Arm(p, faultpoint.Schedule{Panic: "spill-boom", Limit: 1})
-			_, err := collectSQL(s, q)
+			_, err = collectSQL(s, q)
 			var tp *rdd.TaskPanicError
 			if !errors.As(err, &tp) {
 				t.Fatalf("panic at %s surfaced %v (%T), want contained *rdd.TaskPanicError", p, err, err)
@@ -496,6 +507,9 @@ func TestChaosFaultSchedules(t *testing.T) {
 		"SELECT COUNT(*) FROM big WHERE val < 50",
 		"SELECT val, COUNT(*) AS c FROM big GROUP BY val ORDER BY c DESC, val LIMIT 7",
 		"SELECT id, val FROM big ORDER BY val, id", // full sort: spills under the budget
+		// High-cardinality GROUP BY: the group table overflows the budget
+		// and fans out, putting the partition site in play.
+		"SELECT id, COUNT(*) FROM big GROUP BY id HAVING COUNT(*) > 1",
 	}
 	want := make([][]Row, len(queries))
 	for i, q := range queries {
@@ -511,6 +525,7 @@ func TestChaosFaultSchedules(t *testing.T) {
 		faultpoint.TaskStart, faultpoint.ShuffleWrite,
 		faultpoint.BatchSeal, faultpoint.ShuffleFetch,
 		faultpoint.SpillWrite, faultpoint.SpillRead,
+		faultpoint.SpillPartition,
 	}
 	boom := errors.New("chaos error")
 	rng := rand.New(rand.NewSource(20260808))

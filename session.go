@@ -39,6 +39,12 @@ type Config struct {
 	// BroadcastThreshold is the row estimate under which join sides are
 	// broadcast (default 10000).
 	BroadcastThreshold int64
+	// SortPartitions is the partition count for a vectorized sort's final
+	// merge stage when out-of-core execution is enabled (the
+	// range-partitioned parallel merge). 0 follows ShufflePartitions;
+	// 1 forces the single k-way merge task (the ablation baseline).
+	// Without a SpillDir the knob is inert — the merge is always single.
+	SortPartitions int
 	// TablePartitions is the partition count for created tables and
 	// indexes (default 4).
 	TablePartitions int
@@ -175,6 +181,7 @@ func NewSession(cfg Config) *Session {
 		planner: opt.NewPlanner(opt.PlannerConfig{
 			ShufflePartitions:  cfg.ShufflePartitions,
 			BroadcastThreshold: cfg.BroadcastThreshold,
+			SortPartitions:     cfg.SortPartitions,
 			DisableVectorized:  cfg.DisableVectorized,
 			Views:              views,
 			DisableViewRewrite: cfg.DisableViewRewrite,
