@@ -347,7 +347,7 @@ func (df *DataFrame) Explain() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	optimized, err := opt.Optimize(analyzed)
+	optimized, err := df.sess.planner.Optimize(analyzed)
 	if err != nil {
 		return "", err
 	}

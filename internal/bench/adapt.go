@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"indexeddf"
+)
+
+// AdaptReport quantifies the runtime-adaptive filter cascade on a scan
+// whose WHERE clause is written in the worst possible conjunct order: a
+// lax, expensive string comparison first and a highly selective integer
+// equality last. Three engines run the same query over the same data:
+// the static fused kernel (adaptivity off), the adaptive cascade on the
+// mis-ordered text, and the cascade on hand-ordered text (the oracle the
+// adaptive engine should converge to). Statistics are disabled for all
+// three so the planner leaves the written order alone — what is measured
+// is purely the runtime reordering.
+//
+// It also measures what incremental statistics collection costs on the
+// ingest path: the same append workload with stats accumulators on vs
+// off.
+type AdaptReport struct {
+	Rows           int           `json:"rows"`
+	StaticTime     time.Duration `json:"static_ns"`
+	AdaptiveTime   time.Duration `json:"adaptive_ns"`
+	HandTime       time.Duration `json:"hand_ns"`
+	StaticAllocs   int64         `json:"static_alloc_bytes"`
+	AdaptiveAllocs int64         `json:"adaptive_alloc_bytes"`
+	HandAllocs     int64         `json:"hand_alloc_bytes"`
+	ResultRows     int           `json:"result_rows"`
+	IngestRows     int           `json:"ingest_rows"`
+	IngestStats    time.Duration `json:"ingest_stats_ns"`
+	IngestBare     time.Duration `json:"ingest_bare_ns"`
+}
+
+// Speedup returns static/adaptive wall time (how much the cascade's
+// reordering buys over the fused kernel on mis-ordered input).
+func (r AdaptReport) Speedup() float64 {
+	if r.AdaptiveTime <= 0 {
+		return 0
+	}
+	return float64(r.StaticTime) / float64(r.AdaptiveTime)
+}
+
+// HandGap returns adaptive/hand wall time (1.0 = the adaptive cascade on
+// mis-ordered text matches the hand-ordered oracle).
+func (r AdaptReport) HandGap() float64 {
+	if r.HandTime <= 0 {
+		return 0
+	}
+	return float64(r.AdaptiveTime) / float64(r.HandTime)
+}
+
+// IngestOverhead returns stats-on/stats-off ingest wall time (1.0 =
+// incremental statistics are free).
+func (r AdaptReport) IngestOverhead() float64 {
+	if r.IngestBare <= 0 {
+		return 0
+	}
+	return float64(r.IngestStats) / float64(r.IngestBare)
+}
+
+// AdaptiveFilter measures a rows-row scan under a four-conjunct filter
+// whose written order is deliberately backwards — selectivities roughly
+// 1.0 (string), 0.9, 0.5, 0.001 — with the static fused kernel, the
+// adaptive cascade, and the cascade on hand-ordered text; plus the
+// stats-on vs stats-off cost of appending ingestRows rows.
+func AdaptiveFilter(rows, ingestRows, iters int) (AdaptReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	schema := indexeddf.NewSchema(
+		indexeddf.Field{Name: "s", Type: indexeddf.String},
+		indexeddf.Field{Name: "a", Type: indexeddf.Int64},
+		indexeddf.Field{Name: "b", Type: indexeddf.Int64},
+		indexeddf.Field{Name: "c", Type: indexeddf.Int64},
+	)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]indexeddf.Row, rows)
+	for i := range data {
+		data[i] = indexeddf.R(
+			fmt.Sprintf("tag-%d", i%16), // s <> 'none' keeps everything
+			int64(rng.Intn(1000)),       // a < 900: ~0.9
+			int64(rng.Intn(1000)),       // b < 500: ~0.5
+			int64(rng.Intn(1000)),       // c = 7:   ~0.001
+		)
+	}
+	mk := func(adaptive bool) (*indexeddf.Session, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{
+			// Statistics off: the planner must not fix the conjunct order
+			// for us — the runtime cascade (or its absence) is the subject.
+			DisableStats:          true,
+			DisableAdaptiveFilter: !adaptive,
+		})
+		df, err := sess.CreateTable("t", schema, data)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := df.Cache(); err != nil {
+			return nil, err
+		}
+		return sess, nil
+	}
+	const misOrdered = "SELECT a, c FROM t WHERE s <> 'none' AND a < 900 AND b < 500 AND c = 7"
+	const handOrdered = "SELECT a, c FROM t WHERE c = 7 AND b < 500 AND a < 900 AND s <> 'none'"
+	run := func(sess *indexeddf.Session, query string) (int, error) {
+		df, err := sess.SQL(query)
+		if err != nil {
+			return 0, err
+		}
+		out, err := df.Collect()
+		if err != nil {
+			return 0, err
+		}
+		return len(out), nil
+	}
+	measure := func(sess *indexeddf.Session, query string) (time.Duration, int64, int, error) {
+		n, err := run(sess, query) // warmup: compile + plan cache
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		times := make([]time.Duration, iters)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := run(sess, query); err != nil {
+				return 0, 0, 0, err
+			}
+			times[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&ms1)
+		allocs := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		return median(times), allocs, n, nil
+	}
+
+	staticSess, err := mk(false)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	adaptiveSess, err := mk(true)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	sn, err := run(staticSess, misOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	an, err := run(adaptiveSess, misOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	hn, err := run(adaptiveSess, handOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	if sn != an || sn != hn {
+		return AdaptReport{}, fmt.Errorf("bench: engines disagree (static %d, adaptive %d, hand %d rows)", sn, an, hn)
+	}
+	staticTime, staticAllocs, n, err := measure(staticSess, misOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	adaptiveTime, adaptiveAllocs, _, err := measure(adaptiveSess, misOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	handTime, handAllocs, _, err := measure(adaptiveSess, handOrdered)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+
+	ingestStats, ingestBare, err := measureIngest(schema, ingestRows, iters)
+	if err != nil {
+		return AdaptReport{}, err
+	}
+	return AdaptReport{
+		Rows:           rows,
+		StaticTime:     staticTime,
+		AdaptiveTime:   adaptiveTime,
+		HandTime:       handTime,
+		StaticAllocs:   staticAllocs,
+		AdaptiveAllocs: adaptiveAllocs,
+		HandAllocs:     handAllocs,
+		ResultRows:     n,
+		IngestRows:     ingestRows,
+		IngestStats:    ingestStats,
+		IngestBare:     ingestBare,
+	}, nil
+}
+
+// measureIngest appends rows rows in 1k batches to a fresh indexed table,
+// with incremental statistics accumulators on vs off, and returns the
+// median wall time of each.
+func measureIngest(schema *indexeddf.Schema, rows, iters int) (withStats, bare time.Duration, err error) {
+	const batch = 1_000
+	data := make([]indexeddf.Row, rows)
+	for i := range data {
+		// Unique key column (the table is indexed on `a`) so every append
+		// inserts rather than overwrites.
+		data[i] = indexeddf.R(fmt.Sprintf("tag-%d", i%16), int64(i), int64((i*7)%1000), int64((i*13)%1000))
+	}
+	one := func(stats bool) (time.Duration, error) {
+		sess := indexeddf.NewSession(indexeddf.Config{DisableStats: !stats})
+		df, err := sess.CreateIndexedTable("ingest", schema, 1)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for off := 0; off < len(data); off += batch {
+			end := off + batch
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := df.AppendRowsSlice(data[off:end]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	runAll := func(stats bool) (time.Duration, error) {
+		if _, err := one(stats); err != nil { // warmup
+			return 0, err
+		}
+		times := make([]time.Duration, iters)
+		for i := range times {
+			d, err := one(stats)
+			if err != nil {
+				return 0, err
+			}
+			times[i] = d
+		}
+		return median(times), nil
+	}
+	if withStats, err = runAll(true); err != nil {
+		return 0, 0, err
+	}
+	if bare, err = runAll(false); err != nil {
+		return 0, 0, err
+	}
+	return withStats, bare, nil
+}

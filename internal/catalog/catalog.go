@@ -10,6 +10,7 @@ import (
 	"indexeddf/internal/columnar"
 	"indexeddf/internal/core"
 	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/stats"
 )
 
 // Table is a named data source with a schema and a cardinality estimate.
@@ -38,6 +39,7 @@ type ColumnTable struct {
 	cached  bool
 	batches []*columnar.Batch // nil entries are invalid
 	rows    int64
+	stats   *stats.Table // nil when statistics collection is off
 }
 
 // NewColumnTable builds a table from pre-partitioned rows.
@@ -148,6 +150,44 @@ func (t *ColumnTable) Append(rows []sqltypes.Row) {
 			t.batches[i] = nil // invalidate; next scan re-materializes
 		}
 	}
+	t.stats.Observe(rows)
+}
+
+// EnableStats starts incremental statistics collection, seeding the
+// accumulator with the table's current contents.
+func (t *ColumnTable) EnableStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats != nil {
+		return
+	}
+	t.stats = stats.NewTable(t.schema.Len())
+	for _, p := range t.parts {
+		t.stats.Observe(p)
+	}
+}
+
+// ColumnStats implements stats.Provider; nil when collection is off.
+func (t *ColumnTable) ColumnStats() []*stats.ColumnStats {
+	t.mu.RLock()
+	st := t.stats
+	t.mu.RUnlock()
+	return st.Snapshot()
+}
+
+// RebuildStats recomputes statistics from a full scan of the current
+// partitions, enabling collection if it was off (ANALYZE TABLE).
+func (t *ColumnTable) RebuildStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats == nil {
+		t.stats = stats.NewTable(t.schema.Len())
+	}
+	var all []sqltypes.Row
+	for _, p := range t.parts {
+		all = append(all, p...)
+	}
+	t.stats.Rebuild(all)
 }
 
 // MemoryUsage returns the bytes held by materialized columnar batches.
@@ -170,6 +210,9 @@ func (t *ColumnTable) MemoryUsage() int64 {
 type IndexedTable struct {
 	name string
 	core *core.IndexedTable
+
+	statsMu sync.Mutex
+	stats   *stats.Table // nil when statistics collection is off
 }
 
 // NewIndexedTable wraps a core table.
@@ -191,3 +234,75 @@ func (t *IndexedTable) Core() *core.IndexedTable { return t.core }
 
 // KeyColumn returns the indexed column ordinal.
 func (t *IndexedTable) KeyColumn() int { return t.core.KeyColumn() }
+
+// EnableStats starts incremental statistics collection by installing
+// append/delete hooks on the core table, seeding the accumulator from
+// the current contents (usually empty — sessions enable stats at
+// CREATE time, before the first append).
+func (t *IndexedTable) EnableStats() {
+	st, created := t.ensureStats()
+	if created && t.core.RowCount() > 0 {
+		// Seed errors leave the accumulator invalidated, which reads as
+		// "no statistics" — the planner falls back to defaults.
+		_ = t.rebuildStats(st)
+	}
+}
+
+// ensureStats installs the accumulator and core hooks once.
+func (t *IndexedTable) ensureStats() (st *stats.Table, created bool) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats == nil {
+		t.stats = stats.NewTable(t.core.Schema().Len())
+		t.core.SetStatsHooks(&core.StatsHooks{
+			OnAppend:     t.stats.Observe,
+			OnInvalidate: t.stats.Invalidate,
+		})
+		created = true
+	}
+	return t.stats, created
+}
+
+// ColumnStats implements stats.Provider; nil when collection is off or
+// the accumulator was invalidated by a delete.
+func (t *IndexedTable) ColumnStats() []*stats.ColumnStats {
+	t.statsMu.Lock()
+	st := t.stats
+	t.statsMu.Unlock()
+	return st.Snapshot()
+}
+
+// RebuildStats recomputes statistics from a snapshot scan of the table,
+// enabling collection if it was off (ANALYZE TABLE). Appends racing the
+// scan may be double counted; run ANALYZE at a write quiescent point for
+// exact figures.
+func (t *IndexedTable) RebuildStats() error {
+	st, _ := t.ensureStats()
+	return t.rebuildStats(st)
+}
+
+// rebuildStats resets st and folds in a full snapshot scan, observing
+// rows in chunks so a large table never materializes at once.
+func (t *IndexedTable) rebuildStats(st *stats.Table) error {
+	st.Rebuild(nil)
+	snap := t.core.Snapshot()
+	const chunk = 1024
+	buf := make([]sqltypes.Row, 0, chunk)
+	for p := 0; p < snap.NumPartitions(); p++ {
+		err := snap.ScanPartition(p, func(row sqltypes.Row) bool {
+			// ScanPartition reuses its decode buffer; copy before keeping.
+			buf = append(buf, append(sqltypes.Row(nil), row...))
+			if len(buf) == chunk {
+				st.Observe(buf)
+				buf = buf[:0]
+			}
+			return true
+		})
+		if err != nil {
+			st.Invalidate()
+			return err
+		}
+	}
+	st.Observe(buf)
+	return nil
+}

@@ -61,6 +61,34 @@ type IndexedTable struct {
 	version atomic.Int64
 	rows    atomic.Int64
 	capture changeCapture
+	hooks   atomic.Pointer[StatsHooks]
+}
+
+// StatsHooks lets the catalog maintain table statistics incrementally.
+// OnAppend is called with each successfully appended row slice;
+// OnInvalidate whenever the table changes in a way that cannot be
+// folded into additive statistics (deletes, partial-failure appends).
+type StatsHooks struct {
+	OnAppend     func(rows []sqltypes.Row)
+	OnInvalidate func()
+}
+
+// SetStatsHooks installs (or, with nil, removes) the statistics
+// maintenance hooks. Safe to call concurrently with appends; rows
+// applied before the hooks land are the caller's responsibility
+// (rebuild via a full scan).
+func (t *IndexedTable) SetStatsHooks(h *StatsHooks) { t.hooks.Store(h) }
+
+func (t *IndexedTable) statsAppend(rows []sqltypes.Row) {
+	if h := t.hooks.Load(); h != nil && h.OnAppend != nil {
+		h.OnAppend(rows)
+	}
+}
+
+func (t *IndexedTable) statsInvalidate() {
+	if h := t.hooks.Load(); h != nil && h.OnInvalidate != nil {
+		h.OnInvalidate()
+	}
 }
 
 // NewIndexedTable creates an empty IndexedTable indexed on schema column
@@ -149,6 +177,7 @@ func (t *IndexedTable) Append(rows []sqltypes.Row) error {
 		if !logged {
 			t.version.Add(1)
 		}
+		t.statsAppend(rows)
 		return nil
 	}
 	routed := make([][]sqltypes.Row, n)
@@ -160,19 +189,27 @@ func (t *IndexedTable) Append(rows []sqltypes.Row) error {
 		routed[p] = append(routed[p], row)
 	}
 	logged := false
+	applied := false
 	for p, part := range routed {
 		if len(part) == 0 {
 			continue
 		}
 		l, err := t.appendToPartition(p, part)
 		if err != nil {
+			if applied {
+				// Earlier partitions already hold rows from this batch;
+				// additive stats can no longer tell which rows landed.
+				t.statsInvalidate()
+			}
 			return err
 		}
+		applied = true
 		logged = logged || l
 	}
 	if !logged {
 		t.version.Add(1)
 	}
+	t.statsAppend(rows)
 	return nil
 }
 
@@ -180,6 +217,9 @@ func (t *IndexedTable) Append(rows []sqltypes.Row) error {
 // key must hash to p (the shuffle-based index build guarantees this).
 func (t *IndexedTable) AppendToPartition(p int, rows []sqltypes.Row) error {
 	_, err := t.appendToPartition(p, rows)
+	if err == nil {
+		t.statsAppend(rows)
+	}
 	return err
 }
 
@@ -217,11 +257,16 @@ func (t *IndexedTable) appendToPartition(p int, rows []sqltypes.Row) (logged boo
 		applied++
 	}
 	if err != nil {
-		if capture && applied > 0 {
-			// Part of the batch is physically visible but cannot be logged
-			// as the caller's batch; break the log so delta consumers
-			// recompute instead of silently missing the applied prefix.
-			t.invalidateLogLocked(part)
+		if applied > 0 {
+			if capture {
+				// Part of the batch is physically visible but cannot be logged
+				// as the caller's batch; break the log so delta consumers
+				// recompute instead of silently missing the applied prefix.
+				t.invalidateLogLocked(part)
+			}
+			// The applied prefix is visible but unknown to the caller, so
+			// additive statistics can no longer be maintained.
+			t.statsInvalidate()
 		}
 		return false, err
 	}
@@ -264,6 +309,8 @@ func (t *IndexedTable) Delete(key sqltypes.Value) bool {
 		} else {
 			t.version.Add(1)
 		}
+		// Deletes cannot be subtracted from min/max or the NDV sketch.
+		t.statsInvalidate()
 	}
 	return removed
 }

@@ -46,6 +46,9 @@ type OpStats struct {
 	partitions atomic.Int64 // range partitions of a parallel merge (max)
 	fanout     atomic.Int64 // spill fan-out width (max)
 	depth      atomic.Int64 // spill repartition recursion depth (max)
+
+	reorderMu sync.Mutex
+	reorder   string // adaptive filter conjunct order ("c0,c1→c1,c0")
 }
 
 // storeMax raises a to n if n is larger (lock-free max).
@@ -101,6 +104,29 @@ func (s *OpStats) Depth() int64 {
 		return 0
 	}
 	return s.depth.Load()
+}
+
+// NoteReorder records an adaptive filter's conjunct order as
+// "initial→current" (e.g. "c0,c1,c2→c2,c0,c1"). With several partition
+// tasks the last writer wins — partitions see similar data, so any one
+// task's converged order is representative.
+func (s *OpStats) NoteReorder(order string) {
+	if s == nil {
+		return
+	}
+	s.reorderMu.Lock()
+	s.reorder = order
+	s.reorderMu.Unlock()
+}
+
+// Reorder returns the recorded conjunct reorder, "" if none happened.
+func (s *OpStats) Reorder() string {
+	if s == nil {
+		return ""
+	}
+	s.reorderMu.Lock()
+	defer s.reorderMu.Unlock()
+	return s.reorder
 }
 
 // AddRowsIn records n input rows.

@@ -34,6 +34,15 @@ type PlannerConfig struct {
 	// DisableViewRewrite turns off the materialized-view rewrite even when
 	// views are registered (the escape hatch mirroring DisableVectorized).
 	DisableViewRewrite bool
+	// DisableStats turns off statistics-driven planning: the plan-time
+	// conjunct reorder rule is skipped and cost estimates fall back to
+	// the structural defaults. Collection on the tables is governed by
+	// the session, not here.
+	DisableStats bool
+	// DisableAdaptiveFilter turns off runtime conjunct re-ranking inside
+	// vectorized filters; multi-conjunct predicates evaluate as one fused
+	// kernel in plan order.
+	DisableAdaptiveFilter bool
 }
 
 // DefaultPlannerConfig mirrors small-cluster Spark defaults scaled to one
@@ -61,6 +70,17 @@ func NewPlanner(cfg PlannerConfig) *Planner {
 	return &Planner{cfg: cfg}
 }
 
+// Optimize runs the logical rule batch with the planner's cost model:
+// the package-level rules plus, when statistics are enabled, the
+// conjunct reorder rule (cheapest-most-selective-first filters).
+func (pl *Planner) Optimize(n plan.Node) (plan.Node, error) {
+	rules := DefaultRules()
+	if !pl.cfg.DisableStats {
+		rules = append(rules, Rule{Name: "ReorderFilterConjuncts", Apply: reorderFilterConjuncts})
+	}
+	return optimizeWith(n, rules)
+}
+
 // Plan lowers an analyzed, optimized logical plan and — unless disabled —
 // vectorizes every subtree whose operators are batch-capable, leaving row
 // operators (bridged by batch/row adapters) at the boundaries.
@@ -72,8 +92,23 @@ func (pl *Planner) Plan(n plan.Node) (physical.Exec, error) {
 	if !pl.cfg.DisableVectorized {
 		e = vectorize(e, false) // the root feeds the driver's row collect
 		setSortParallelism(e, pl.cfg.SortPartitions)
+		if !pl.cfg.DisableAdaptiveFilter {
+			setAdaptiveFilters(e)
+		}
 	}
 	return e, nil
+}
+
+// setAdaptiveFilters marks every vectorized filter in the finished tree
+// as eligible for runtime conjunct re-ranking (a post-vectorize pass,
+// like setSortParallelism).
+func setAdaptiveFilters(e physical.Exec) {
+	if f, ok := e.(*physical.VecFilterExec); ok {
+		f.Adaptive = true
+	}
+	for _, c := range e.Children() {
+		setAdaptiveFilters(c)
+	}
 }
 
 // setSortParallelism stamps the configured range-merge width onto every

@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"sort"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/plan"
+	"indexeddf/internal/sqltypes"
+)
+
+// reorderFilterConjuncts orders each filter's conjuncts so the cheapest
+// and most selective run first, minimizing expected per-row work under
+// the cascade evaluation model (conjunct i only sees rows the first i-1
+// kept): rank = cost_i / (1 - sel_i), ascending. Selectivities come
+// from column statistics when the child carries them (structural
+// defaults otherwise), costs from the expression shape. The sort is
+// stable on the original position so the rule is deterministic and
+// reaches the optimizer's fixpoint in one application.
+//
+// Reordering is semantics-preserving under SQL three-valued logic: a
+// row passes iff every conjunct is TRUE, predicates are pure, and
+// errors don't exist at this level (1/0 yields NULL, not a fault).
+func reorderFilterConjuncts(n plan.Node) (plan.Node, error) {
+	return plan.Transform(n, func(node plan.Node) (plan.Node, error) {
+		f, ok := node.(*plan.Filter)
+		if !ok {
+			return node, nil
+		}
+		conjs := expr.SplitConjunction(f.Cond)
+		if len(conjs) < 2 {
+			return node, nil
+		}
+		childStats := f.Child.Stats()
+		type ranked struct {
+			e    expr.Expr
+			pos  int
+			rank float64
+		}
+		rs := make([]ranked, len(conjs))
+		for i, c := range conjs {
+			sel := plan.EstimateSelectivity(c, childStats)
+			drop := 1 - sel
+			if drop < 1e-6 {
+				drop = 1e-6 // keeps-everything conjuncts go last
+			}
+			rs[i] = ranked{e: c, pos: i, rank: exprCost(c) / drop}
+		}
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].rank < rs[b].rank })
+		changed := false
+		out := make([]expr.Expr, len(rs))
+		for i, r := range rs {
+			out[i] = r.e
+			if r.pos != i {
+				changed = true
+			}
+		}
+		if !changed {
+			return node, nil
+		}
+		return plan.NewFilter(expr.JoinConjuncts(out), f.Child), nil
+	})
+}
+
+// exprCost scores the per-row evaluation cost of an expression from its
+// shape: string comparisons dominate numeric ones, arithmetic adds work,
+// scalar functions are the most expensive.
+func exprCost(e expr.Expr) float64 {
+	if e == nil {
+		return 0
+	}
+	switch t := e.(type) {
+	case *expr.Literal:
+		return 0
+	case *expr.Bound:
+		if t.Type() == sqltypes.String {
+			return 2
+		}
+		return 1
+	case *expr.Col:
+		return 1
+	case *expr.Alias:
+		return exprCost(t.E)
+	case *expr.Cmp:
+		cost := exprCost(t.L) + exprCost(t.R)
+		if t.L.Type() == sqltypes.String || t.R.Type() == sqltypes.String {
+			return cost + 8
+		}
+		return cost + 1
+	case *expr.Arith:
+		return exprCost(t.L) + exprCost(t.R) + 2
+	case *expr.Logic:
+		return exprCost(t.L) + exprCost(t.R) + 1
+	case *expr.Not:
+		return exprCost(t.E) + 1
+	case *expr.IsNull:
+		return exprCost(t.E) + 1
+	case *expr.Cast:
+		return exprCost(t.E) + 4
+	case *expr.Func:
+		cost := 50.0
+		for _, a := range t.Args {
+			cost += exprCost(a)
+		}
+		return cost
+	}
+	return 4
+}

@@ -26,9 +26,15 @@ func DefaultRules() []Rule {
 	}
 }
 
-// Optimize runs the logical rules to a bounded fixpoint.
+// Optimize runs the default logical rules to a bounded fixpoint.
+// Planner.Optimize is the cost-aware variant sessions use; this stays
+// for callers without a planner (view maintenance, tests).
 func Optimize(n plan.Node) (plan.Node, error) {
-	rules := DefaultRules()
+	return optimizeWith(n, DefaultRules())
+}
+
+// optimizeWith runs a rule batch to a bounded fixpoint.
+func optimizeWith(n plan.Node, rules []Rule) (plan.Node, error) {
 	for iter := 0; iter < 8; iter++ {
 		changed := false
 		for _, r := range rules {

@@ -152,11 +152,15 @@ func vectorize(e physical.Exec, batchSink bool) physical.Exec {
 // not by table size. The indexed join counts as row-bound when its probe
 // side is (its output is probe rows times the matching chains).
 func rowBound(e physical.Exec) bool {
-	switch e.(type) {
+	switch t := e.(type) {
 	case *physical.IndexLookupExec, *physical.ValuesExec:
 		return true
-	case *physical.ColumnarScanExec, *physical.IndexedScanExec:
-		return false
+	case *physical.ColumnarScanExec:
+		// Real row counts refine the structural guess: batch formation
+		// over a handful of rows costs more than it saves.
+		return t.Table.RowCount() <= vecMinTableRows
+	case *physical.IndexedScanExec:
+		return t.Table.RowCount() <= vecMinTableRows
 	}
 	children := e.Children()
 	if len(children) == 0 {
@@ -173,6 +177,12 @@ func rowBound(e physical.Exec) bool {
 // maxVecTopN bounds the per-partition heap size of the fused top-n; a
 // LIMIT beyond it sorts with VecSort and truncates instead.
 const maxVecTopN = 1 << 16
+
+// vecMinTableRows is the scan size below which vectorization is not
+// worth the batch formation overhead; such subtrees stay on the row
+// engine. Deliberately tiny — the break-even is low and plans are
+// cached, so a growing table must not get stuck with a row plan.
+const vecMinTableRows = 16
 
 func ordersVectorizable(orders []physical.SortOrder) bool {
 	for _, o := range orders {

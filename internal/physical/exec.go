@@ -153,6 +153,9 @@ func (ec *ExecContext) AnalyzeString(root Exec) string {
 			if d := st.Depth(); d > 0 {
 				fmt.Fprintf(&sb, " depth=%d", d)
 			}
+			if r := st.Reorder(); r != "" {
+				fmt.Fprintf(&sb, " reordered=%s", r)
+			}
 			sb.WriteByte(')')
 		}
 		sb.WriteByte('\n')

@@ -22,6 +22,13 @@ import (
 type VecFilterExec struct {
 	Child Exec
 	Cond  expr.Expr
+	// Adaptive enables runtime conjunct re-ranking: a multi-conjunct
+	// predicate compiles to one kernel per conjunct evaluated as a
+	// cascade (each conjunct only sees survivors of the previous ones),
+	// and observed per-conjunct selectivity and cost periodically
+	// re-rank the cascade cheapest-most-selective-first. Stamped by the
+	// planner's post-vectorize pass unless disabled by config.
+	Adaptive bool
 }
 
 // NewVecFilter builds a vectorized filter.
@@ -46,9 +53,26 @@ func (f *VecFilterExec) Execute(ec *ExecContext) (rdd.RDD, error) {
 	schema := f.Child.Schema()
 	cond := f.Cond
 	st := ec.Stats(f)
+	conjs := expr.SplitConjunction(cond)
+	adaptive := f.Adaptive && len(conjs) > 1
 	return ec.RDD.NewBatchIterRDD(child, 0, schema, func(_ *rdd.TaskContext, _ int, in vector.BatchIter) (vector.BatchIter, error) {
 		// Compiled per partition task: kernels own scratch vectors and are
 		// not safe to share across concurrently computed partitions.
+		if adaptive {
+			preds := make([]*expr.VecExpr, len(conjs))
+			ok := true
+			for i, c := range conjs {
+				if preds[i], ok = expr.CompileVec(c); !ok {
+					break
+				}
+			}
+			if ok {
+				mk := func() *vector.Batch { return vector.NewBatch(schema) }
+				return obs.Batches(st, newVecAdaptiveFilterIter(in, preds, mk, st)), nil
+			}
+			// An individual conjunct wouldn't compile (the conjunction as a
+			// whole still might); fall through to the fused kernel.
+		}
 		pred, ok := expr.CompileVec(cond)
 		if !ok {
 			return nil, fmt.Errorf("physical: predicate %s is not vectorizable", cond)

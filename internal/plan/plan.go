@@ -11,12 +11,26 @@ import (
 	"indexeddf/internal/catalog"
 	"indexeddf/internal/expr"
 	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/stats"
 )
 
 // Stats carries the cardinality estimate used by planning heuristics
-// (broadcast thresholds, build-side selection).
+// (broadcast thresholds, build-side selection) and, when the source
+// tables collect statistics, per-output-column detail (min/max, null
+// fraction, distinct counts) for selectivity estimation. Cols is nil
+// when no statistics are available; entries may individually be nil
+// for computed columns.
 type Stats struct {
 	Rows int64
+	Cols []*stats.ColumnStats
+}
+
+// Col returns the statistics for output column i, or nil.
+func (s Stats) Col(i int) *stats.ColumnStats {
+	if i < 0 || i >= len(s.Cols) {
+		return nil
+	}
+	return s.Cols[i]
 }
 
 // Node is a logical plan operator.
@@ -65,8 +79,15 @@ func (r *Relation) WithChildren(c []Node) (Node, error) {
 	return r, nil
 }
 
-// Stats implements Node.
-func (r *Relation) Stats() Stats { return Stats{Rows: r.Table.RowCount()} }
+// Stats implements Node; when the catalog table maintains statistics
+// (stats.Provider) the per-column detail rides along.
+func (r *Relation) Stats() Stats {
+	s := Stats{Rows: r.Table.RowCount()}
+	if p, ok := r.Table.(stats.Provider); ok {
+		s.Cols = p.ColumnStats()
+	}
+	return s
+}
 
 func (r *Relation) String() string {
 	kind := "Relation"
@@ -138,8 +159,30 @@ func (p *Project) WithChildren(c []Node) (Node, error) {
 // WithExprs rebuilds the projection with new expressions.
 func (p *Project) WithExprs(exprs []expr.Expr) *Project { return NewProject(exprs, p.Child) }
 
-// Stats implements Node.
-func (p *Project) Stats() Stats { return p.Child.Stats() }
+// Stats implements Node; column detail is remapped through pass-through
+// projections (bare or aliased column references).
+func (p *Project) Stats() Stats {
+	child := p.Child.Stats()
+	out := Stats{Rows: child.Rows}
+	if child.Cols != nil {
+		out.Cols = make([]*stats.ColumnStats, len(p.Exprs))
+		for i, e := range p.Exprs {
+			if b, ok := unwrapBoundExpr(e); ok {
+				out.Cols[i] = child.Col(b.Ordinal)
+			}
+		}
+	}
+	return out
+}
+
+// unwrapBoundExpr unwraps a bare or aliased bound column reference.
+func unwrapBoundExpr(e expr.Expr) (*expr.Bound, bool) {
+	if a, ok := e.(*expr.Alias); ok {
+		e = a.E
+	}
+	b, ok := e.(*expr.Bound)
+	return b, ok
+}
 
 func (p *Project) String() string {
 	parts := make([]string, len(p.Exprs))
@@ -175,18 +218,18 @@ func (f *Filter) WithChildren(c []Node) (Node, error) {
 	return NewFilter(f.Cond, c[0]), nil
 }
 
-// Stats implements Node; equality predicates are assumed selective.
+// Stats implements Node; selectivity comes from column statistics when
+// the child carries them, falling back to structural defaults.
 func (f *Filter) Stats() Stats {
 	child := f.Child.Stats()
-	sel := 0.25
-	if cmp, ok := f.Cond.(*expr.Cmp); ok && cmp.Op == expr.Eq {
-		sel = 0.01
-	}
+	sel := EstimateSelectivity(f.Cond, child)
 	rows := int64(float64(child.Rows) * sel)
 	if rows < 1 {
 		rows = 1
 	}
-	return Stats{Rows: rows}
+	// Column detail passes through: a filter narrows ranges in ways we
+	// don't model, but min/max/NDV stay valid as upper bounds.
+	return Stats{Rows: rows, Cols: child.Cols}
 }
 
 func (f *Filter) String() string { return fmt.Sprintf("Filter %s", f.Cond) }
@@ -246,13 +289,33 @@ func (j *Join) WithChildren(c []Node) (Node, error) {
 	return NewJoin(j.Type, c[0], c[1], j.Cond), nil
 }
 
-// Stats implements Node.
+// Stats implements Node; column detail concatenates left-then-right to
+// match the join output schema.
 func (j *Join) Stats() Stats {
-	l, r := j.Left.Stats().Rows, j.Right.Stats().Rows
-	if l > r {
-		return Stats{Rows: l}
+	ls, rs := j.Left.Stats(), j.Right.Stats()
+	out := Stats{Rows: ls.Rows}
+	if rs.Rows > out.Rows {
+		out.Rows = rs.Rows
 	}
-	return Stats{Rows: r}
+	if ls.Cols != nil || rs.Cols != nil {
+		lw, rw := 0, 0
+		if s := j.Left.Schema(); s != nil {
+			lw = s.Len()
+		}
+		if s := j.Right.Schema(); s != nil {
+			rw = s.Len()
+		}
+		if lw+rw > 0 {
+			out.Cols = make([]*stats.ColumnStats, lw+rw)
+			for i := 0; i < lw; i++ {
+				out.Cols[i] = ls.Col(i)
+			}
+			for i := 0; i < rw; i++ {
+				out.Cols[lw+i] = rs.Col(i)
+			}
+		}
+	}
+	return out
 }
 
 func (j *Join) String() string {
@@ -319,12 +382,41 @@ func (a *Aggregate) WithChildren(c []Node) (Node, error) {
 	return NewAggregate(a.Groups, a.Aggs, c[0]), nil
 }
 
-// Stats implements Node.
+// Stats implements Node; with column statistics the group count is the
+// product of the grouping columns' distinct counts (capped at the
+// child cardinality), otherwise the structural child/10 guess.
 func (a *Aggregate) Stats() Stats {
 	if len(a.Groups) == 0 {
 		return Stats{Rows: 1}
 	}
-	rows := a.Child.Stats().Rows / 10
+	child := a.Child.Stats()
+	groups := int64(1)
+	known := child.Cols != nil
+	for _, g := range a.Groups {
+		b, ok := unwrapBoundExpr(g)
+		if !ok {
+			known = false
+			break
+		}
+		cs := child.Col(b.Ordinal)
+		if cs == nil || cs.NDV <= 0 {
+			known = false
+			break
+		}
+		if groups > child.Rows/cs.NDV {
+			// Product would overshoot the child cardinality; cap below.
+			groups = child.Rows
+			break
+		}
+		groups *= cs.NDV
+	}
+	rows := child.Rows / 10
+	if known {
+		rows = groups
+	}
+	if rows > child.Rows {
+		rows = child.Rows
+	}
 	if rows < 1 {
 		rows = 1
 	}

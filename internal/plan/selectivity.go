@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"indexeddf/internal/expr"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/stats"
+)
+
+// Structural fallback selectivities, used when no column statistics are
+// available. defaultSel matches the pre-statistics planner's guess for
+// an arbitrary predicate; eqSel its guess for an equality.
+const (
+	defaultSel = 0.25
+	eqSel      = 0.01
+)
+
+// EstimateSelectivity estimates the fraction of child rows a predicate
+// keeps. With column statistics it uses NDV for equalities, range
+// interpolation over [min,max] for inequalities, and null fractions
+// for IS [NOT] NULL; conjunctions multiply, disjunctions add under
+// independence. Without statistics it degrades to the structural
+// defaults the planner used before statistics existed.
+func EstimateSelectivity(cond expr.Expr, child Stats) float64 {
+	return clampSel(estimateSel(cond, child))
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func estimateSel(e expr.Expr, child Stats) float64 {
+	switch t := e.(type) {
+	case *expr.Alias:
+		return estimateSel(t.E, child)
+	case *expr.Logic:
+		l := estimateSel(t.L, child)
+		r := estimateSel(t.R, child)
+		if t.Op == expr.AndOp {
+			return l * r
+		}
+		return l + r - l*r
+	case *expr.Not:
+		return 1 - estimateSel(t.E, child)
+	case *expr.IsNull:
+		b, ok := unwrapBoundExpr(t.E)
+		if !ok {
+			return defaultSel
+		}
+		cs := child.Col(b.Ordinal)
+		if cs == nil || cs.Count == 0 {
+			return defaultSel
+		}
+		frac := cs.NullFraction()
+		if t.Negate {
+			return 1 - frac
+		}
+		return frac
+	case *expr.Literal:
+		if t.V.T == sqltypes.Bool {
+			if t.V.I != 0 {
+				return 1
+			}
+			return 0
+		}
+		return defaultSel
+	case *expr.Cmp:
+		return estimateCmpSel(t, child)
+	}
+	return defaultSel
+}
+
+// estimateCmpSel estimates a comparison's selectivity. Only the
+// column-versus-literal shape is modeled; everything else falls back.
+func estimateCmpSel(c *expr.Cmp, child Stats) float64 {
+	b, lit, op, ok := columnVsLiteral(c)
+	if !ok {
+		if c.Op == expr.Eq {
+			return eqSel
+		}
+		return defaultSel
+	}
+	cs := child.Col(b.Ordinal)
+	if cs == nil || cs.Count == 0 {
+		if op == expr.Eq {
+			return eqSel
+		}
+		return defaultSel
+	}
+	nonNullFrac := 1 - cs.NullFraction()
+	switch op {
+	case expr.Eq:
+		if outsideRange(lit, cs) {
+			return 0
+		}
+		if cs.NDV > 0 {
+			return nonNullFrac / float64(cs.NDV)
+		}
+		return eqSel
+	case expr.Ne:
+		if outsideRange(lit, cs) {
+			return nonNullFrac
+		}
+		if cs.NDV > 0 {
+			return nonNullFrac * (1 - 1/float64(cs.NDV))
+		}
+		return nonNullFrac
+	case expr.Lt, expr.Le, expr.Gt, expr.Ge:
+		return rangeSel(op, lit, cs) * nonNullFrac
+	}
+	return defaultSel
+}
+
+// columnVsLiteral matches `col OP lit` or `lit OP col` (flipping the
+// operator so the column is always on the left).
+func columnVsLiteral(c *expr.Cmp) (*expr.Bound, sqltypes.Value, expr.CmpOp, bool) {
+	if b, ok := unwrapBoundExpr(c.L); ok {
+		if lit, ok := literalValue(c.R); ok {
+			return b, lit, c.Op, true
+		}
+	}
+	if b, ok := unwrapBoundExpr(c.R); ok {
+		if lit, ok := literalValue(c.L); ok {
+			return b, lit, flipCmp(c.Op), true
+		}
+	}
+	return nil, sqltypes.Null, 0, false
+}
+
+func literalValue(e expr.Expr) (sqltypes.Value, bool) {
+	if a, ok := e.(*expr.Alias); ok {
+		e = a.E
+	}
+	l, ok := e.(*expr.Literal)
+	if !ok || l.V.IsNull() {
+		return sqltypes.Null, false
+	}
+	return l.V, true
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}
+
+// outsideRange reports whether lit falls outside the column's observed
+// [min,max]; comparisons across incompatible types report false.
+func outsideRange(lit sqltypes.Value, cs *stats.ColumnStats) bool {
+	if cs.Min.IsNull() || cs.Max.IsNull() || !typesComparable(lit, cs.Min) {
+		return false
+	}
+	return sqltypes.Compare(lit, cs.Min) < 0 || sqltypes.Compare(lit, cs.Max) > 0
+}
+
+// typesComparable reports whether two values order meaningfully (numerics
+// against numerics, same-type otherwise).
+func typesComparable(a, b sqltypes.Value) bool {
+	if a.T == b.T {
+		return true
+	}
+	return isNumeric(a.T) && isNumeric(b.T)
+}
+
+func isNumeric(t sqltypes.Type) bool {
+	switch t {
+	case sqltypes.Int32, sqltypes.Int64, sqltypes.Float64, sqltypes.Timestamp, sqltypes.Bool:
+		return true
+	}
+	return false
+}
+
+// rangeSel interpolates an inequality's selectivity over the column's
+// numeric [min,max]. Non-numeric columns fall back to the default.
+func rangeSel(op expr.CmpOp, lit sqltypes.Value, cs *stats.ColumnStats) float64 {
+	if cs.Min.IsNull() || cs.Max.IsNull() ||
+		!isNumeric(lit.T) || !isNumeric(cs.Min.T) || !isNumeric(cs.Max.T) {
+		return defaultSel
+	}
+	lo, hi, v := numeric(cs.Min), numeric(cs.Max), numeric(lit)
+	if hi <= lo {
+		// Single-point range: the predicate either keeps or drops it.
+		switch op {
+		case expr.Lt:
+			if lo < v {
+				return 1
+			}
+		case expr.Le:
+			if lo <= v {
+				return 1
+			}
+		case expr.Gt:
+			if lo > v {
+				return 1
+			}
+		case expr.Ge:
+			if lo >= v {
+				return 1
+			}
+		}
+		return 0
+	}
+	frac := (v - lo) / (hi - lo) // fraction of the range below v
+	switch op {
+	case expr.Lt, expr.Le:
+		return clampSel(frac)
+	default: // Gt, Ge
+		return clampSel(1 - frac)
+	}
+}
+
+func numeric(v sqltypes.Value) float64 {
+	if v.T == sqltypes.Float64 {
+		return v.F
+	}
+	return float64(v.I)
+}

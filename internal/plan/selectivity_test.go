@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"indexeddf/internal/expr"
+	"indexeddf/internal/sqltypes"
+	"indexeddf/internal/stats"
+)
+
+// statsChild builds a Stats over one Int64 column "a" with the given
+// shape: count rows, nulls of them NULL, ndv distinct non-null values
+// uniform over [lo, hi].
+func statsChild(count, nulls, ndv, lo, hi int64) Stats {
+	return Stats{
+		Rows: count,
+		Cols: []*stats.ColumnStats{{
+			Count: count,
+			Nulls: nulls,
+			NDV:   ndv,
+			Min:   sqltypes.NewInt64(lo),
+			Max:   sqltypes.NewInt64(hi),
+		}},
+	}
+}
+
+func colA() *expr.Bound { return expr.B(0, sqltypes.Int64, "a") }
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s: selectivity %v, want %v", name, got, want)
+	}
+}
+
+func TestSelectivityEqualityUsesNDV(t *testing.T) {
+	child := statsChild(1000, 0, 50, 0, 999)
+	sel := EstimateSelectivity(expr.NewCmp(expr.Eq, colA(), expr.LitInt64(7)), child)
+	approx(t, "a = 7 with 50 NDV", sel, 1.0/50)
+
+	// Nulls shrink the matchable fraction: 20% nulls leaves 0.8/NDV.
+	child = statsChild(1000, 200, 50, 0, 999)
+	sel = EstimateSelectivity(expr.NewCmp(expr.Eq, colA(), expr.LitInt64(7)), child)
+	approx(t, "a = 7 with 20% nulls", sel, 0.8/50)
+}
+
+func TestSelectivityOutOfRangeLiteral(t *testing.T) {
+	child := statsChild(1000, 0, 50, 0, 99)
+	eq := EstimateSelectivity(expr.NewCmp(expr.Eq, colA(), expr.LitInt64(500)), child)
+	approx(t, "a = 500 outside [0,99]", eq, 0)
+	// <> an impossible value keeps every non-null row.
+	ne := EstimateSelectivity(expr.NewCmp(expr.Ne, colA(), expr.LitInt64(500)), child)
+	approx(t, "a <> 500 outside [0,99]", ne, 1)
+}
+
+func TestSelectivityRangeInterpolation(t *testing.T) {
+	child := statsChild(1000, 0, 1000, 0, 1000)
+	lt := EstimateSelectivity(expr.NewCmp(expr.Lt, colA(), expr.LitInt64(250)), child)
+	approx(t, "a < 250 over [0,1000]", lt, 0.25)
+	gt := EstimateSelectivity(expr.NewCmp(expr.Gt, colA(), expr.LitInt64(250)), child)
+	approx(t, "a > 250 over [0,1000]", gt, 0.75)
+	// Flipped literal-on-the-left spelling must agree.
+	flipped := EstimateSelectivity(expr.NewCmp(expr.Gt, expr.LitInt64(250), colA()), child)
+	approx(t, "250 > a over [0,1000]", flipped, 0.25)
+	// Bounds clamp: a < min keeps nothing, a < beyond-max keeps all.
+	below := EstimateSelectivity(expr.NewCmp(expr.Lt, colA(), expr.LitInt64(-5)), child)
+	approx(t, "a < -5 over [0,1000]", below, 0)
+	above := EstimateSelectivity(expr.NewCmp(expr.Lt, colA(), expr.LitInt64(5000)), child)
+	approx(t, "a < 5000 over [0,1000]", above, 1)
+}
+
+func TestSelectivityIsNull(t *testing.T) {
+	child := statsChild(1000, 300, 10, 0, 9)
+	isNull := EstimateSelectivity(&expr.IsNull{E: colA()}, child)
+	approx(t, "a IS NULL at 30% nulls", isNull, 0.3)
+	notNull := EstimateSelectivity(&expr.IsNull{E: colA(), Negate: true}, child)
+	approx(t, "a IS NOT NULL at 30% nulls", notNull, 0.7)
+}
+
+func TestSelectivityComposition(t *testing.T) {
+	child := statsChild(1000, 0, 1000, 0, 1000)
+	lt := expr.NewCmp(expr.Lt, colA(), expr.LitInt64(500))  // 0.5
+	lt2 := expr.NewCmp(expr.Lt, colA(), expr.LitInt64(100)) // 0.1
+	and := EstimateSelectivity(expr.And(lt, lt2), child)
+	approx(t, "AND multiplies", and, 0.5*0.1)
+	or := EstimateSelectivity(expr.Or(lt, lt2), child)
+	approx(t, "OR adds under independence", or, 0.5+0.1-0.5*0.1)
+	not := EstimateSelectivity(expr.NewNot(lt), child)
+	approx(t, "NOT complements", not, 0.5)
+}
+
+func TestSelectivityFallbacksWithoutStats(t *testing.T) {
+	var child Stats // no column statistics at all
+	eq := EstimateSelectivity(expr.NewCmp(expr.Eq, colA(), expr.LitInt64(7)), child)
+	approx(t, "equality fallback", eq, eqSel)
+	lt := EstimateSelectivity(expr.NewCmp(expr.Lt, colA(), expr.LitInt64(7)), child)
+	approx(t, "inequality fallback", lt, defaultSel)
+	// Column-vs-column comparisons are not modeled even with stats.
+	both := statsChild(1000, 0, 10, 0, 9)
+	cc := EstimateSelectivity(expr.NewCmp(expr.Lt, colA(), colA()), both)
+	approx(t, "column-vs-column fallback", cc, defaultSel)
+}
+
+func TestSelectivityLiteralBool(t *testing.T) {
+	child := statsChild(10, 0, 10, 0, 9)
+	approx(t, "TRUE", EstimateSelectivity(expr.Lit(sqltypes.NewBool(true)), child), 1)
+	approx(t, "FALSE", EstimateSelectivity(expr.Lit(sqltypes.NewBool(false)), child), 0)
+}

@@ -24,6 +24,9 @@ const (
 	// the explained query and Statement.Analyze reports whether it should
 	// be executed (ANALYZE) or only planned.
 	StmtExplain
+	// StmtAnalyzeTable is ANALYZE TABLE name: rebuild the table's
+	// statistics from a full scan. Statement.TableName holds the table.
+	StmtAnalyzeTable
 )
 
 // Statement is one parsed SQL statement: either a query or a
@@ -46,12 +49,16 @@ type Statement struct {
 	// completion and the rendered plan carries actual row counts and
 	// timings.
 	Analyze bool
+	// TableName is the table the DDL statement addresses
+	// (StmtAnalyzeTable).
+	TableName string
 }
 
 // ParseStatement compiles one SQL statement: SELECT queries (see Parse)
 // plus the materialized-view DDL verbs
 // CREATE MATERIALIZED VIEW name AS SELECT ...,
-// DROP MATERIALIZED VIEW name and REFRESH MATERIALIZED VIEW name.
+// DROP MATERIALIZED VIEW name and REFRESH MATERIALIZED VIEW name,
+// EXPLAIN [ANALYZE] SELECT ..., and ANALYZE TABLE name.
 func ParseStatement(query string, resolve Resolver) (*Statement, error) {
 	toks, err := lex(query)
 	if err != nil {
@@ -99,6 +106,20 @@ func ParseStatement(query string, resolve Resolver) (*Statement, error) {
 			ViewName: name,
 			ViewSQL:  strings.TrimSpace(query[selStart:]),
 		}, nil
+	case p.accept(tkKeyword, "ANALYZE"):
+		// ANALYZE TABLE name — TABLE lexes as an identifier (it is not a
+		// reserved word), so match its text explicitly.
+		if t, err := p.expect(tkIdent, ""); err != nil || !strings.EqualFold(t.text, "TABLE") {
+			return nil, fmt.Errorf("sqlparser: expected TABLE after ANALYZE")
+		}
+		t, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, fmt.Errorf("sqlparser: expected table name: %v", err)
+		}
+		if !p.at(tkEOF, "") {
+			return nil, fmt.Errorf("sqlparser: unexpected trailing input %q", p.peek())
+		}
+		return &Statement{Kind: StmtAnalyzeTable, TableName: t.text}, nil
 	case p.accept(tkKeyword, "EXPLAIN"):
 		analyze := p.accept(tkKeyword, "ANALYZE")
 		node, err := p.parseQuery()

@@ -163,7 +163,7 @@ func TestViewInitialBuildAndDeltaAppend(t *testing.T) {
 
 	// Appends fold incrementally: no further full recomputes.
 	for i := int64(50); i < 80; i++ {
-		if err := base.Append([]sqltypes.Row{row(i, i%7, i64(i * 2))}); err != nil {
+		if err := base.Append([]sqltypes.Row{row(i, i%7, i64(i*2))}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -200,7 +200,7 @@ func TestViewMinMaxDeleteRecomputesGroup(t *testing.T) {
 	base := newBase(t)
 	// Group 0 holds vals 0, 10, 20, 30; key == val/10.
 	for i := int64(0); i < 4; i++ {
-		if err := base.Append([]sqltypes.Row{row(i, 0, i64(i * 10))}); err != nil {
+		if err := base.Append([]sqltypes.Row{row(i, 0, i64(i*10))}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -107,6 +107,19 @@ type Config struct {
 	// synchronously from the cursor's shutdown path — keep it fast, or hand
 	// off to a channel. Ignored when SlowQueryThreshold is zero.
 	SlowQueryLog func(SlowQuery)
+	// DisableStats turns off table statistics: no incremental collection
+	// on created tables (appends skip the per-row accumulator work) and
+	// no statistics-driven planning — cost estimates fall back to the
+	// structural defaults and the plan-time conjunct reorder rule is
+	// skipped. ANALYZE TABLE still works, building statistics on demand
+	// for its table, but the planner ignores them while this is set.
+	DisableStats bool
+	// DisableAdaptiveFilter turns off runtime conjunct re-ranking inside
+	// vectorized filters: multi-conjunct predicates evaluate as a single
+	// fused kernel in plan order instead of a self-reordering cascade
+	// (benchmarks compare both; the cascade also short-circuits, so this
+	// ablation isolates the full win of the adaptive path).
+	DisableAdaptiveFilter bool
 }
 
 func (c Config) withDefaults() Config {
@@ -179,12 +192,14 @@ func NewSession(cfg Config) *Session {
 		spill: spillMgr,
 		ctx:   rdd.NewContext(ctxOpts...),
 		planner: opt.NewPlanner(opt.PlannerConfig{
-			ShufflePartitions:  cfg.ShufflePartitions,
-			BroadcastThreshold: cfg.BroadcastThreshold,
-			SortPartitions:     cfg.SortPartitions,
-			DisableVectorized:  cfg.DisableVectorized,
-			Views:              views,
-			DisableViewRewrite: cfg.DisableViewRewrite,
+			ShufflePartitions:     cfg.ShufflePartitions,
+			BroadcastThreshold:    cfg.BroadcastThreshold,
+			SortPartitions:        cfg.SortPartitions,
+			DisableVectorized:     cfg.DisableVectorized,
+			Views:                 views,
+			DisableViewRewrite:    cfg.DisableViewRewrite,
+			DisableStats:          cfg.DisableStats,
+			DisableAdaptiveFilter: cfg.DisableAdaptiveFilter,
 		}),
 		views:  views,
 		plans:  newPlanCache(cfg.PlanCacheSize, pool),
@@ -221,6 +236,9 @@ func (s *Session) CreateTable(name string, schema *sqltypes.Schema, rows []sqlty
 		parts[i%n] = append(parts[i%n], r)
 	}
 	t := catalog.NewColumnTable(name, schema, parts)
+	if !s.cfg.DisableStats {
+		t.EnableStats()
+	}
 	if err := s.register(name, t); err != nil {
 		return nil, err
 	}
@@ -238,10 +256,37 @@ func (s *Session) CreateIndexedTable(name string, schema *sqltypes.Schema, keyCo
 		return nil, err
 	}
 	t := catalog.NewIndexedTable(name, ct)
+	if !s.cfg.DisableStats {
+		t.EnableStats()
+	}
 	if err := s.register(name, t); err != nil {
 		return nil, err
 	}
 	return s.frame(plan.NewRelation(t, name)), nil
+}
+
+// AnalyzeTable recomputes a table's statistics from a full scan,
+// enabling collection for that table even when Config.DisableStats
+// turned automatic collection off (the planner still ignores the
+// result while stats are disabled). It heals the invalidation a Delete
+// causes: incremental statistics cannot un-observe rows, so deleting
+// invalidates them until the next ANALYZE.
+func (s *Session) AnalyzeTable(name string) error {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("indexeddf: table %q not found", name)
+	}
+	switch tt := t.(type) {
+	case *catalog.ColumnTable:
+		tt.RebuildStats()
+		return nil
+	case *catalog.IndexedTable:
+		return tt.RebuildStats()
+	default:
+		return fmt.Errorf("indexeddf: table %q does not support statistics", name)
+	}
 }
 
 // Table returns a DataFrame over a registered table.
@@ -345,7 +390,7 @@ func (s *Session) compile(n plan.Node) (physical.Exec, error) {
 	if err != nil {
 		return nil, err
 	}
-	optimized, err := opt.Optimize(analyzed)
+	optimized, err := s.planner.Optimize(analyzed)
 	if err != nil {
 		return nil, err
 	}

@@ -81,10 +81,10 @@ func sortQueries() map[string]func(*indexeddf.Session) (*indexeddf.DataFrame, er
 			}
 			return df.OrderBy("-tag"), nil
 		},
-		"expr-key":       sql("SELECT id, val FROM facts ORDER BY (val * 2) DESC, id"),
-		"sort-over-agg":  sql("SELECT grp, SUM(val) AS s, COUNT(*) AS c FROM facts GROUP BY grp ORDER BY s DESC, grp"),
-		"filtered-sort":  sql("SELECT id, grp, val FROM facts WHERE val > 0 ORDER BY grp, val"),
-		"row-fallback":   sql("SELECT id, tag FROM facts ORDER BY UPPER(tag), id"),
+		"expr-key":      sql("SELECT id, val FROM facts ORDER BY (val * 2) DESC, id"),
+		"sort-over-agg": sql("SELECT grp, SUM(val) AS s, COUNT(*) AS c FROM facts GROUP BY grp ORDER BY s DESC, grp"),
+		"filtered-sort": sql("SELECT id, grp, val FROM facts WHERE val > 0 ORDER BY grp, val"),
+		"row-fallback":  sql("SELECT id, tag FROM facts ORDER BY UPPER(tag), id"),
 		"sort-after-join": func(s *indexeddf.Session) (*indexeddf.DataFrame, error) {
 			return s.SQL("SELECT label, val FROM facts JOIN dims ON grp = gid ORDER BY val, label")
 		},

@@ -74,6 +74,11 @@ func (s *Session) SQL(query string) (*DataFrame, error) {
 			return nil, err
 		}
 		return s.statusFrame(fmt.Sprintf("refreshed materialized view %s", stmt.ViewName)), nil
+	case sqlparser.StmtAnalyzeTable:
+		if err := s.AnalyzeTable(stmt.TableName); err != nil {
+			return nil, err
+		}
+		return s.statusFrame(fmt.Sprintf("analyzed table %s", stmt.TableName)), nil
 	default:
 		return nil, fmt.Errorf("indexeddf: unsupported statement kind %d", stmt.Kind)
 	}

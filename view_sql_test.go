@@ -224,7 +224,7 @@ func TestDropAndRefreshMaterializedViewSQL(t *testing.T) {
 func TestCreateViewRejectsUnsupportedQueries(t *testing.T) {
 	s, _ := newViewSession(t, 10, Config{})
 	for _, q := range []string{
-		"CREATE MATERIALIZED VIEW bad1 AS SELECT id, region FROM sales",                               // no aggregation
+		"CREATE MATERIALIZED VIEW bad1 AS SELECT id, region FROM sales",                                 // no aggregation
 		"CREATE MATERIALIZED VIEW bad2 AS SELECT region, COUNT(*) c FROM sales GROUP BY region LIMIT 1", // limit
 	} {
 		if _, err := s.SQL(q); err == nil {
